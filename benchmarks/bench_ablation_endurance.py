@@ -1,0 +1,47 @@
+"""Endurance and energy ablation (sections 1, 6.1 asides).
+
+The paper motivates write elimination with NVM's limited endurance
+(10-100 M writes per cell) and expensive write energy. This benchmark
+measures lifetime consumption and energy on a shredding-heavy page-
+recycling workload, baseline vs Silent Shredder, plus the bit-flip
+accounting that shows why DCW/Flip-N-Write cannot recover the loss
+under encryption (diffusion flips ~half the bits).
+"""
+
+from repro.analysis import render_table
+from repro.config import bench_config
+from repro.sim import System
+from repro.workloads import multiprogrammed_tasks
+
+
+def run_side(shredder: bool):
+    config = bench_config().with_zeroing("shred" if shredder else "nontemporal")
+    system = System(config, shredder=shredder,
+                    name="endurance-" + ("ss" if shredder else "base"))
+    system.run(multiprogrammed_tasks("GCC", 2, scale=0.5))
+    system.machine.hierarchy.flush_all()
+    device = system.machine.controller.device
+    return {
+        "system": "silent-shredder" if shredder else "baseline",
+        "line_writes": device.total_line_writes(),
+        "max_line_wear": device.max_wear(),
+        "bits_programmed": device.stats.bits_written,
+        "write_energy_uJ": device.stats.write_energy_pj / 1e6,
+        "lifetime_used_ppb": device.lifetime_fraction_used() * 1e9,
+    }
+
+
+def test_endurance_and_energy(benchmark, emit):
+    rows = benchmark.pedantic(lambda: [run_side(False), run_side(True)],
+                              rounds=1, iterations=1)
+    emit("ablation_endurance", render_table(
+        rows, title="Endurance/energy — baseline vs Silent Shredder "
+                    "(same workload)"))
+
+    base, shredder = rows
+    assert shredder["line_writes"] < base["line_writes"]
+    assert shredder["bits_programmed"] < base["bits_programmed"]
+    assert shredder["write_energy_uJ"] < base["write_energy_uJ"]
+    assert shredder["max_line_wear"] <= base["max_line_wear"]
+    # Lifetime: fewer writes -> proportionally longer device life.
+    assert shredder["lifetime_used_ppb"] < base["lifetime_used_ppb"]

@@ -1,0 +1,34 @@
+"""Section 4.2 ablation: the three IV-manipulation options.
+
+The paper argues option three (major++ / minors=0) dominates: option
+one (bump every minor) raises page re-encryption frequency because
+7-bit minors saturate; option two (major++ only) avoids that but, like
+option one, returns garbage for freshly 'zeroed' pages, breaking
+software (the libc rtld NULL-pointer assertion). This benchmark
+measures both axes.
+"""
+
+from repro.analysis import ablation_policies, render_table
+
+
+def test_ablation_shred_policies(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: ablation_policies(pages=8, shreds_per_page=80),
+        rounds=1, iterations=1)
+    emit("ablation_policies", render_table(
+        rows, title="Section 4.2 ablation — shred policy trade-offs"))
+
+    by_policy = {row["policy"]: row for row in rows}
+    option1 = by_policy["increment-minors"]
+    option2 = by_policy["increment-major"]
+    option3 = by_policy["major-reset-minors"]
+
+    # Software compatibility: only option three returns zeros.
+    assert option3["reads_return_zero"]
+    assert not option1["reads_return_zero"]
+    assert not option2["reads_return_zero"]
+
+    # Re-encryption pressure: option one is strictly worst.
+    assert option1["reencryptions"] > option2["reencryptions"]
+    assert option1["reencryptions"] > option3["reencryptions"]
+    assert option2["reencryptions"] == 0

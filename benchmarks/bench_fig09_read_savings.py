@@ -1,0 +1,36 @@
+"""Figure 9: main-memory read-traffic savings per benchmark.
+
+Paper: 50.3 % of initialization-phase read traffic is reads of
+shredded pages, which Silent Shredder serves as zero-filled blocks
+without touching NVM.
+"""
+
+from repro.analysis import render_table
+from repro.analysis.figures import fig8_to_11_study, study_summary
+
+SCALE = 1.0
+CORES = 2
+
+
+def test_fig9_read_savings(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: fig8_to_11_study(scale=SCALE, cores=CORES),
+        rounds=1, iterations=1)
+    rows = [{"benchmark": r.workload,
+             "read_savings_pct": 100 * r.read_savings,
+             "zero_fill_reads": r.shredder.zero_fill_reads}
+            for r in results]
+    summary = study_summary(results)
+    rows.append({"benchmark": "AVERAGE",
+                 "read_savings_pct": summary["avg_read_savings_pct"],
+                 "zero_fill_reads": ""})
+    emit("fig09_read_savings", render_table(
+        rows, title="Figure 9 — % of main-memory read traffic saved "
+                    "(paper: 50.3% average)"))
+
+    average = summary["avg_read_savings_pct"]
+    assert 35 <= average <= 85, f"average read savings {average:.1f}%"
+    for result in results:
+        assert result.read_savings > 0, \
+            f"{result.workload}: some reads must hit shredded blocks"
+        assert result.shredder.zero_fill_reads > 0

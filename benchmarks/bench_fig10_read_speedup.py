@@ -1,0 +1,36 @@
+"""Figure 10: main-memory read speedup per benchmark.
+
+Paper: average memory-read latency improves 3.3x on average (some
+benchmarks reach ~11x) because shredded reads complete as soon as the
+minor counter is read — no NVM access, no pad wait.
+"""
+
+from repro.analysis import render_table
+from repro.analysis.figures import fig8_to_11_study, study_summary
+
+SCALE = 1.0
+CORES = 2
+
+
+def test_fig10_read_speedup(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: fig8_to_11_study(scale=SCALE, cores=CORES),
+        rounds=1, iterations=1)
+    rows = [{"benchmark": r.workload,
+             "read_speedup": r.read_speedup,
+             "baseline_ns": r.baseline.avg_read_latency_ns,
+             "shredder_ns": r.shredder.avg_read_latency_ns}
+            for r in results]
+    summary = study_summary(results)
+    rows.append({"benchmark": "AVERAGE",
+                 "read_speedup": summary["avg_read_speedup"],
+                 "baseline_ns": "", "shredder_ns": ""})
+    emit("fig10_read_speedup", render_table(
+        rows, title="Figure 10 — main-memory read speedup "
+                    "(paper: 3.3x average)"))
+
+    average = summary["avg_read_speedup"]
+    assert 1.5 <= average <= 8.0, f"average read speedup {average:.2f}x"
+    for result in results:
+        assert result.read_speedup > 1.0, \
+            f"{result.workload}: reads must not slow down"

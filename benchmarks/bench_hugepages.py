@@ -1,0 +1,87 @@
+"""Huge-page shredding and TLB-reach study (sections 1, 5, 7.2).
+
+The paper: VMs and kernels prefer large allocations and huge pages
+(fewer walks, fewer hypervisor interventions), but "zeroing out such a
+large amount of memory would be very slow" — while shredding a 2 MB
+page is just 512 shred commands. This benchmark measures (a) the cost
+of making a huge page safe under each mechanism and (b) the TLB-reach
+benefit huge pages give once a TLB model is enabled.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import render_table
+from repro.config import fast_config
+from repro.sim import System
+
+HUGE = 64 * 4096        # scaled "huge page": 64 base pages (256 KB)
+
+
+def huge_population_cost(strategy: str) -> dict:
+    shredder = strategy == "shred"
+    config = replace(fast_config().with_zeroing(strategy),
+                     functional=False)
+    config = replace(config, kernel=replace(config.kernel,
+                                            zeroing_strategy=strategy,
+                                            huge_page_size=HUGE))
+    system = System(config, shredder=shredder)
+    ctx = system.new_context(0)
+    region = system.kernel.mmap(ctx.pid, HUGE, huge=True)
+    writes_before = system.machine.controller.stats.data_writes
+    ctx.touch(region.start, write=True)       # one fault populates it all
+    return {
+        "strategy": strategy,
+        "fault_ms": round(system.kernel.stats.fault_ns / 1e6, 4),
+        "zeroing_ms": round(system.kernel.stats.zeroing_ns / 1e6, 4),
+        "nvm_writes": system.machine.controller.stats.data_writes
+                      - writes_before,
+        "shred_commands": system.machine.controller.stats.shreds,
+    }
+
+
+def tlb_reach(huge: bool) -> dict:
+    config = replace(fast_config().with_zeroing("shred"), functional=False)
+    config = replace(config,
+                     kernel=replace(config.kernel, zeroing_strategy="shred",
+                                    huge_page_size=HUGE),
+                     cpu=replace(config.cpu, tlb_entries=32,
+                                 tlb_miss_penalty_cycles=50))
+    system = System(config, shredder=True)
+    ctx = system.new_context(0)
+    region = system.kernel.mmap(ctx.pid, 4 * HUGE, huge=huge)
+    for _ in range(3):
+        for page in range(4 * HUGE // 4096):
+            ctx.touch(region.start + page * 4096, write=True)
+    return {
+        "mapping": "huge" if huge else "4KB",
+        "tlb_miss_rate": round(ctx.tlb.stats.miss_rate, 4),
+        "cycles": int(ctx.core.stats.cycles),
+    }
+
+
+def test_huge_page_shredding(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: [huge_population_cost(s)
+                 for s in ("nontemporal", "dma", "shred")],
+        rounds=1, iterations=1)
+    emit("hugepages_shredding", render_table(
+        rows, title=f"Populating one {HUGE >> 10} KB huge page — zeroing "
+                    "mechanism cost"))
+    by_strategy = {row["strategy"]: row for row in rows}
+    shred = by_strategy["shred"]
+    assert shred["nvm_writes"] == 0
+    assert shred["shred_commands"] >= HUGE // 4096
+    for other in ("nontemporal", "dma"):
+        assert by_strategy[other]["nvm_writes"] == HUGE // 64
+        assert shred["fault_ms"] < by_strategy[other]["fault_ms"]
+
+
+def test_huge_page_tlb_reach(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: [tlb_reach(False), tlb_reach(True)],
+        rounds=1, iterations=1)
+    emit("hugepages_tlb", render_table(
+        rows, title="TLB reach — 4 KB vs huge mappings (32-entry TLB)"))
+    base, huge = rows
+    assert huge["tlb_miss_rate"] < base["tlb_miss_rate"]
+    assert huge["cycles"] < base["cycles"]

@@ -1,0 +1,61 @@
+"""NVM technology sensitivity (sections 2.1, 3).
+
+"Writing latency for NVMs is multiple times slower than that of DRAM,
+and hence the page zeroing is expected to become dominant and to
+contribute for most of the page fault time." This benchmark sweeps the
+three candidate technologies the paper names — STT-RAM, PCM,
+Memristor-class — and shows that the slower the writes, the larger the
+share of fault time the baseline burns on zeroing, and the larger
+Silent Shredder's IPC win.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import render_table
+from repro.config import NVM_TECHNOLOGIES, bench_config
+from repro.sim import System, compare_runs
+from repro.workloads import multiprogrammed_tasks
+
+
+def run_technology(name: str) -> dict:
+    nvm = replace(NVM_TECHNOLOGIES[name],
+                  capacity_bytes=bench_config().nvm.capacity_bytes)
+    config = replace(bench_config(), nvm=nvm)
+    reports = {}
+    zero_share = {}
+    for shredder in (False, True):
+        strategy = "shred" if shredder else "nontemporal"
+        system = System(config.with_zeroing(strategy), shredder=shredder)
+        system.run(multiprogrammed_tasks("GCC", 2, scale=0.4))
+        system.machine.hierarchy.flush_all()
+        reports[shredder] = system.report()
+        zero_share[shredder] = \
+            system.kernel.stats.zeroing_fraction_of_fault_time
+    result = compare_runs(reports[False], reports[True], name)
+    return {
+        "technology": name,
+        "write_ns": nvm.write_latency_ns,
+        "baseline_zeroing_share": round(zero_share[False], 3),
+        "relative_ipc": round(result.relative_ipc, 4),
+        "write_savings_pct": round(100 * result.write_savings, 1),
+    }
+
+
+def test_nvm_technology_sensitivity(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: [run_technology(name) for name in
+                 ("stt-ram", "pcm", "memristor")],
+        rounds=1, iterations=1)
+    emit("sensitivity_nvm", render_table(
+        rows, title="NVM technology sweep — zeroing share and IPC gain "
+                    "grow with write latency"))
+
+    stt, pcm, memristor = rows
+    # Write-count savings are latency-independent (same transactions).
+    assert abs(stt["write_savings_pct"] - memristor["write_savings_pct"]) < 5
+    # The slower the writes, the bigger zeroing looms in fault time...
+    assert stt["baseline_zeroing_share"] < pcm["baseline_zeroing_share"]
+    assert pcm["baseline_zeroing_share"] <= \
+        memristor["baseline_zeroing_share"] + 0.02
+    # ...and the bigger the IPC payoff from eliminating it.
+    assert stt["relative_ipc"] < memristor["relative_ipc"]

@@ -1,0 +1,53 @@
+"""Loaded-server churn study (section 6.1).
+
+Process churn at server consolidation levels makes page-fault latency
+critical; every recycled page pays a shred. This benchmark runs the
+worker-churn workload on both systems and reports fault latency,
+shredding cost and NVM writes — the "peak energy efficiency is
+achieved when the data centers are highly loaded" scenario where
+Silent Shredder matters most.
+"""
+
+from repro.analysis import render_table
+from repro.config import bench_config
+from repro.sim import System
+from repro.workloads import ChurnParams, churn_task
+
+
+def run_churn(shredder: bool) -> dict:
+    strategy = "shred" if shredder else "nontemporal"
+    system = System(bench_config().with_zeroing(strategy), shredder=shredder)
+    params = ChurnParams(workers=30, pages_per_worker=10,
+                         requests_per_worker=50)
+    system.run([churn_task(params), churn_task(params)])
+    system.machine.hierarchy.flush_all()
+    report = system.report()
+    kernel = system.kernel.stats
+    return {
+        "system": "silent-shredder" if shredder else "baseline",
+        "pages_recycled": kernel.pages_recycled,
+        "avg_fault_us": round(kernel.fault_ns / 1e3
+                              / max(kernel.cow_faults, 1), 3),
+        "zeroing_share_of_fault": round(
+            kernel.zeroing_fraction_of_fault_time, 3),
+        "nvm_writes": report.memory_writes,
+        "ipc": round(report.ipc, 3),
+    }
+
+
+def test_server_churn(benchmark, emit):
+    rows = benchmark.pedantic(lambda: [run_churn(False), run_churn(True)],
+                              rounds=1, iterations=1)
+    emit("server_churn", render_table(
+        rows, title="Process-churn server — 2 cores, 30 workers each"))
+
+    baseline, shredder = rows
+    # Churn recycles pages heavily on both systems.
+    assert baseline["pages_recycled"] > 200
+    assert shredder["pages_recycled"] == baseline["pages_recycled"]
+    # The shredder collapses fault latency and its zeroing share.
+    assert shredder["avg_fault_us"] < baseline["avg_fault_us"]
+    assert shredder["zeroing_share_of_fault"] < \
+        baseline["zeroing_share_of_fault"]
+    assert shredder["nvm_writes"] < baseline["nvm_writes"] / 2
+    assert shredder["ipc"] > baseline["ipc"]

@@ -1,0 +1,25 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one table or figure of the paper, prints it
+(outside pytest's capture) and archives it under ``benchmarks/results/``
+so EXPERIMENTS.md can cite actual runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a result table through the capture barrier and archive it."""
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print("\n" + text, flush=True)
+    return _emit

@@ -1,0 +1,4 @@
+"""Setup shim so `pip install -e .` works with older tooling (no network)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Analysis layer: per-figure data-series builders and text reports.
+
+Each ``figN_*`` function runs the simulations behind one figure or
+table of the paper and returns plain data (lists of dict rows), which
+the benchmark harness prints and EXPERIMENTS.md records. Results are
+memoised per process so the Figure 8-11 benchmarks share one sweep.
+"""
+
+from .figures import (
+    fig4_memset,
+    fig5_zeroing_writes,
+    fig8_to_11_study,
+    fig12_counter_cache_sweep,
+    table2_mechanisms,
+    ablation_policies,
+    run_pair,
+)
+from .report import render_table, rows_to_csv, rows_to_json
+
+__all__ = [
+    "ablation_policies",
+    "fig12_counter_cache_sweep",
+    "fig4_memset",
+    "fig5_zeroing_writes",
+    "fig8_to_11_study",
+    "render_table",
+    "rows_to_csv",
+    "rows_to_json",
+    "run_pair",
+    "table2_mechanisms",
+]

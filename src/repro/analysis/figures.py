@@ -1,0 +1,321 @@
+"""Data-series builders for every figure and table in the evaluation.
+
+All functions are deterministic given their arguments and memoised per
+process, so the four benchmarks that share the initialization study
+(Figures 8-11) run the sweep once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import SystemConfig, bench_config
+from ..core.policies import make_policy
+from ..sim import System, compare_runs
+from ..sim.results import RunResult, arithmetic_mean, geometric_mean
+from ..workloads import (SPEC_BENCHMARKS, memset_experiment,
+                         multiprogrammed_tasks, powergraph_task)
+
+_memo: Dict[tuple, object] = {}
+
+
+def _memoised(key: tuple, build: Callable[[], object]) -> object:
+    if key not in _memo:
+        _memo[key] = build()
+    return _memo[key]
+
+
+def clear_memo() -> None:
+    _memo.clear()
+
+
+# ---------------------------------------------------------------------------
+# Shared pair-runner
+# ---------------------------------------------------------------------------
+
+def run_pair(name: str, make_tasks: Callable[[], list],
+             config: Optional[SystemConfig] = None) -> RunResult:
+    """Run identical tasks on the baseline and Silent Shredder systems.
+
+    Baseline: secure counter-mode controller, non-temporal kernel
+    zeroing (the paper's baseline assumption in section 5). Shredder:
+    the same machine with the shred command replacing zeroing.
+    """
+    config = config if config is not None else bench_config()
+    baseline = System(config.with_zeroing("nontemporal"), shredder=False,
+                      name=f"{name}-baseline")
+    baseline.run(make_tasks())
+    baseline.machine.hierarchy.flush_all()
+    shredder = System(config.with_zeroing("shred"), shredder=True,
+                      name=f"{name}-shredder")
+    shredder.run(make_tasks())
+    shredder.machine.hierarchy.flush_all()
+    return compare_runs(baseline.report(), shredder.report(), name)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: impact of kernel zeroing on memset time
+# ---------------------------------------------------------------------------
+
+def fig4_memset(sizes_bytes: Sequence[int], *,
+                config: Optional[SystemConfig] = None) -> List[dict]:
+    """First-vs-second memset timing across region sizes."""
+    def build() -> List[dict]:
+        rows = []
+        base_config = config if config is not None else bench_config()
+        for size in sizes_bytes:
+            system = System(base_config.with_zeroing("nontemporal"),
+                            shredder=False, name="memset")
+            timing = memset_experiment(system, size)
+            rows.append({
+                "size_bytes": size,
+                "first_memset_ns": timing.first_ns,
+                "second_memset_ns": timing.second_ns,
+                "kernel_zeroing_ns": timing.kernel_zeroing_ns,
+                "kernel_fraction": timing.kernel_fraction,
+                "zeroing_fraction": timing.zeroing_fraction,
+            })
+        return rows
+    return _memoised(("fig4", tuple(sizes_bytes), id(config) if config else None),
+                     build)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: zeroing strategy vs main-memory writes (PowerGraph apps)
+# ---------------------------------------------------------------------------
+
+def fig5_zeroing_writes(apps: Sequence[str], *, num_nodes: int = 800,
+                        config: Optional[SystemConfig] = None) -> List[dict]:
+    """Relative write counts: temporal / non-temporal / no zeroing.
+
+    The paper's Figure 5 normalises each app's write count to the
+    temporal-zeroing ("Unmodified") case.
+    """
+    def build() -> List[dict]:
+        from ..config import CacheConfig, KB
+        base_config = config if config is not None else replace(
+            bench_config(),
+            # Tighter shared caches: zeroed-ahead pages must not linger
+            # in the LLC, mirroring the distance between clear_page and
+            # first use on a real machine.
+            l3=CacheConfig("L3", size_bytes=32 * KB, associativity=8,
+                           latency_cycles=25, shared=True),
+            l4=CacheConfig("L4", size_bytes=128 * KB, associativity=8,
+                           latency_cycles=35, shared=True),
+        )
+        rows = []
+        for app in apps:
+            counts = {}
+            # Measure the footprint first with zeroing disabled, then give
+            # the zeroing runs a pre-zeroed pool of that many pages: real
+            # kernels clear free pages ahead of use, so the clears are not
+            # coalesced with the application's first stores in the caches.
+            probe = System(base_config.with_zeroing("none"), shredder=False,
+                           name=f"fig5-{app}-probe")
+            probe.run([powergraph_task(app, num_nodes=num_nodes)])
+            probe.machine.hierarchy.flush_all()
+            counts["none"] = probe.machine.memory_write_count()
+            footprint_pages = probe.kernel.stats.pages_allocated + 8
+
+            for strategy in ("temporal", "nontemporal"):
+                cfg = replace(base_config.with_zeroing(strategy),
+                              kernel=replace(base_config.kernel,
+                                             zeroing_strategy=strategy,
+                                             prezero_pool_pages=footprint_pages))
+                system = System(cfg, shredder=False,
+                                name=f"fig5-{app}-{strategy}")
+                system.run([powergraph_task(app, num_nodes=num_nodes)])
+                system.machine.hierarchy.flush_all()
+                counts[strategy] = system.machine.memory_write_count()
+            unmodified = max(counts["temporal"], 1)
+            rows.append({
+                "app": app,
+                "writes_temporal": counts["temporal"],
+                "writes_nontemporal": counts["nontemporal"],
+                "writes_nozero": counts["none"],
+                "rel_unmodified": 1.0,
+                "rel_nontemporal": counts["nontemporal"] / unmodified,
+                "rel_nozero": counts["none"] / unmodified,
+            })
+        return rows
+    return _memoised(("fig5", tuple(apps), num_nodes), build)
+
+
+# ---------------------------------------------------------------------------
+# Figures 8-11: the initialization-phase study over all benchmarks
+# ---------------------------------------------------------------------------
+
+def fig8_to_11_study(*, benchmarks: Optional[Sequence[str]] = None,
+                     scale: float = 1.0, cores: int = 2,
+                     powergraph_nodes: int = 5000,
+                     config: Optional[SystemConfig] = None) -> List[RunResult]:
+    """Baseline-vs-shredder pairs for the SPEC + PowerGraph suite.
+
+    One sweep feeds Figure 8 (write savings), Figure 9 (read-traffic
+    savings), Figure 10 (read speedup) and Figure 11 (relative IPC).
+    """
+    names = tuple(benchmarks) if benchmarks is not None \
+        else tuple(SPEC_BENCHMARKS) + ("PAGERANK", "SIMPLE_COLORING", "KCORE")
+
+    def build() -> List[RunResult]:
+        results = []
+        base_config = config if config is not None else bench_config()
+        for name in names:
+            if name in SPEC_BENCHMARKS:
+                def make_tasks(name=name):
+                    return multiprogrammed_tasks(name, cores, scale=scale)
+            else:
+                def make_tasks(name=name):
+                    return [powergraph_task(name, num_nodes=powergraph_nodes)]
+            results.append(run_pair(name, make_tasks, base_config))
+        return results
+
+    return _memoised(("study", names, scale, cores, powergraph_nodes), build)
+
+
+def study_summary(results: List[RunResult]) -> dict:
+    """The per-figure averages the paper quotes in its abstract."""
+    return {
+        "avg_write_savings_pct": 100 * arithmetic_mean(
+            [r.write_savings for r in results]),
+        "avg_read_savings_pct": 100 * arithmetic_mean(
+            [r.read_savings for r in results]),
+        "avg_read_speedup": arithmetic_mean([r.read_speedup for r in results]),
+        "geo_read_speedup": geometric_mean([r.read_speedup for r in results]),
+        "avg_ipc_improvement_pct": 100 * (arithmetic_mean(
+            [r.relative_ipc for r in results]) - 1.0),
+        "max_ipc_improvement_pct": 100 * (max(
+            r.relative_ipc for r in results) - 1.0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: counter-cache size sensitivity
+# ---------------------------------------------------------------------------
+
+def fig12_counter_cache_sweep(sizes_bytes: Sequence[int], *,
+                              benchmark: str = "GEMS", scale: float = 1.0,
+                              config: Optional[SystemConfig] = None) -> List[dict]:
+    """Counter-cache miss rate as its capacity grows (knee at 4 MB in
+    the paper; the knee lands where the cache covers the hot footprint,
+    which scales with our shrunken system)."""
+    def build() -> List[dict]:
+        base_config = config if config is not None else bench_config()
+        rows = []
+        for size in sizes_bytes:
+            cfg = base_config.with_counter_cache_size(size).with_zeroing("shred")
+            system = System(cfg, shredder=True, name=f"fig12-{size}")
+            tasks = multiprogrammed_tasks(benchmark, len(system.cores),
+                                          scale=scale)
+            system.run(tasks)
+            stats = system.machine.controller.stats
+            rows.append({
+                "size_bytes": size,
+                "miss_rate": stats.counter_miss_rate,
+                "hits": stats.counter_hits,
+                "misses": stats.counter_misses,
+            })
+        return rows
+    return _memoised(("fig12", tuple(sizes_bytes), benchmark, scale), build)
+
+
+# ---------------------------------------------------------------------------
+# Table 2: feature comparison of initialization mechanisms
+# ---------------------------------------------------------------------------
+
+def table2_mechanisms(*, pages: int = 24,
+                      config: Optional[SystemConfig] = None) -> List[dict]:
+    """Measure each zeroing mechanism's costs on identical page batches.
+
+    RowClone requires encryption disabled (DRAM-specific); the other
+    mechanisms run on the encrypted NVM machine.
+    """
+    def build() -> List[dict]:
+        base_config = config if config is not None else bench_config()
+        rows = []
+        for strategy in ("temporal", "nontemporal", "dma", "rowclone", "shred"):
+            cfg = base_config.with_zeroing(strategy)
+            if strategy == "rowclone":
+                cfg = replace(cfg, encryption=replace(cfg.encryption,
+                                                      enabled=False))
+            shredder = strategy == "shred"
+            system = System(cfg, shredder=shredder, name=f"table2-{strategy}")
+            ctx = system.new_context(0)
+            base = ctx.malloc(pages * cfg.kernel.page_size)
+            writes_before = system.machine.controller.stats.data_writes
+            # First-touch every page so the kernel zeroes it.
+            for page in range(pages):
+                ctx.touch(base + page * cfg.kernel.page_size, write=True)
+            zs = system.kernel.zeroing.stats
+            # Temporal zeroing parks its zeros dirty in the caches; the
+            # flush reveals the writes it merely deferred. The app's own
+            # stores (one per page) are subtracted so every column counts
+            # zeroing-attributable writes only.
+            system.machine.hierarchy.flush_all()
+            total_writes = (system.machine.controller.stats.data_writes
+                            - writes_before)
+            if strategy == "temporal":
+                zeroing_writes = max(0, total_writes - pages)
+            else:
+                zeroing_writes = zs.memory_writes
+            l1_pollution = zs.cache_blocks_polluted
+            rows.append({
+                "mechanism": strategy,
+                "pages": zs.pages_zeroed,
+                "memory_writes": zeroing_writes,
+                "immediate_writes": zs.memory_writes,
+                "memory_reads": zs.memory_reads,
+                "cpu_busy_ns_per_page": zs.cpu_busy_ns / max(zs.pages_zeroed, 1),
+                "latency_ns_per_page": zs.latency_ns / max(zs.pages_zeroed, 1),
+                "cache_pollution_blocks": l1_pollution,
+                "no_cache_pollution": l1_pollution == 0,
+                "no_memory_writes": zeroing_writes == 0,
+                "no_memory_bus_writes": strategy in ("shred", "rowclone"),
+                "persistent": strategy not in ("temporal",),
+            })
+        return rows
+    return _memoised(("table2", pages), build)
+
+
+# ---------------------------------------------------------------------------
+# Section 4.2 ablation: the three shred policies
+# ---------------------------------------------------------------------------
+
+def ablation_policies(*, pages: int = 8, shreds_per_page: int = 80,
+                      config: Optional[SystemConfig] = None) -> List[dict]:
+    """Repeatedly shred and rewrite pages under each IV-manipulation
+    option, recording re-encryption frequency and zero-read support."""
+    def build() -> List[dict]:
+        base_config = config if config is not None else bench_config()
+        cfg = replace(base_config.with_zeroing("shred"), functional=False)
+        rows = []
+        for policy_name in ("increment-minors", "increment-major",
+                            "major-reset-minors"):
+            system = System(cfg, shredder=True,
+                            policy=make_policy(policy_name),
+                            name=f"ablate-{policy_name}")
+            controller = system.machine.controller
+            page_size = cfg.kernel.page_size
+            for round_index in range(shreds_per_page):
+                for page in range(1, pages + 1):
+                    # Dirty one block then shred the page again (reuse).
+                    controller.store_block(page * page_size, None)
+                    system.machine.shred_register.write(
+                        page * page_size, kernel_mode=True)
+            zero_reads = 0
+            probes = 0
+            for page in range(1, pages + 1):
+                result = controller.fetch_block(page * page_size)
+                probes += 1
+                if result.zero_filled:
+                    zero_reads += 1
+            rows.append({
+                "policy": policy_name,
+                "shreds": controller.stats.shreds,
+                "reencryptions": controller.stats.reencryptions,
+                "reads_return_zero": zero_reads == probes,
+                "zero_read_fraction": zero_reads / probes,
+            })
+        return rows
+    return _memoised(("ablation", pages, shreds_per_page), build)

@@ -1,0 +1,151 @@
+"""MESI coherence directory over the per-core private caches.
+
+The coherence unit is one core's private L1+L2 pair. A directory entry
+tracks, per block, which cores hold it and in which MESI state. The
+directory serves three purposes in the reproduction:
+
+* correctness of multi-core sharing (single writer / multiple readers),
+* accounting of invalidation traffic, and
+* the shred-command datapath: step 2 of Figure 6 sends invalidations for
+  a whole page to every core's caches (and the counter cache), which the
+  directory performs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..errors import SimulationError
+
+
+class MESIState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class DirectoryEntry:
+    """Who caches one block, and how."""
+
+    sharers: Set[int] = field(default_factory=set)
+    owner: int = -1                      # core id with M/E, -1 when shared/none
+    state: MESIState = MESIState.INVALID
+
+
+@dataclass
+class CoherenceStats:
+    invalidations_sent: int = 0
+    ownership_transfers: int = 0
+    writebacks_forced: int = 0
+    read_misses_served_by_owner: int = 0
+
+
+class CoherenceDirectory:
+    """Directory-based MESI for N private cache units."""
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self.stats = CoherenceStats()
+
+    def _entry(self, block_address: int) -> DirectoryEntry:
+        entry = self._entries.get(block_address)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[block_address] = entry
+        return entry
+
+    def state_of(self, block_address: int, core: int) -> MESIState:
+        entry = self._entries.get(block_address)
+        if entry is None or core not in entry.sharers:
+            return MESIState.INVALID
+        if entry.owner == core:
+            return entry.state
+        return MESIState.SHARED
+
+    def sharers_of(self, block_address: int) -> Set[int]:
+        entry = self._entries.get(block_address)
+        return set(entry.sharers) if entry else set()
+
+    # -- processor-side events ------------------------------------------------
+
+    def read(self, block_address: int, core: int) -> List[int]:
+        """Core ``core`` reads the block.
+
+        Returns the list of cores whose copy must be downgraded (an M/E
+        owner supplying the data transitions to S; its dirty data is
+        flushed to the shared levels by the hierarchy).
+        """
+        entry = self._entry(block_address)
+        downgraded: List[int] = []
+        if core in entry.sharers and (entry.owner == core or
+                                      entry.state is MESIState.SHARED):
+            return downgraded
+        if entry.owner >= 0 and entry.owner != core:
+            downgraded.append(entry.owner)
+            if entry.state is MESIState.MODIFIED:
+                self.stats.writebacks_forced += 1
+            self.stats.read_misses_served_by_owner += 1
+            entry.owner = -1
+            entry.state = MESIState.SHARED
+        entry.sharers.add(core)
+        if len(entry.sharers) == 1:
+            entry.owner = core
+            entry.state = MESIState.EXCLUSIVE
+        else:
+            entry.owner = -1
+            entry.state = MESIState.SHARED
+        return downgraded
+
+    def write(self, block_address: int, core: int) -> List[int]:
+        """Core ``core`` writes the block; returns cores to invalidate."""
+        entry = self._entry(block_address)
+        invalidate = [c for c in entry.sharers if c != core]
+        if invalidate:
+            self.stats.invalidations_sent += len(invalidate)
+        if entry.owner != core and entry.owner >= 0:
+            self.stats.ownership_transfers += 1
+        entry.sharers = {core}
+        entry.owner = core
+        entry.state = MESIState.MODIFIED
+        return invalidate
+
+    def evicted(self, block_address: int, core: int) -> None:
+        """A private cache dropped its copy (eviction or invalidation)."""
+        entry = self._entries.get(block_address)
+        if entry is None:
+            return
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = -1
+            entry.state = MESIState.SHARED if entry.sharers else MESIState.INVALID
+        if not entry.sharers:
+            del self._entries[block_address]
+
+    def invalidate_block(self, block_address: int) -> List[int]:
+        """Drop the block everywhere (shred step 2); returns prior sharers."""
+        entry = self._entries.pop(block_address, None)
+        if entry is None:
+            return []
+        self.stats.invalidations_sent += len(entry.sharers)
+        return sorted(entry.sharers)
+
+    # -- invariant checking ------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise if any entry violates the MESI single-writer invariant."""
+        for address, entry in self._entries.items():
+            if entry.state in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
+                if entry.owner < 0 or len(entry.sharers) != 1:
+                    raise SimulationError(
+                        f"block {address:#x}: {entry.state.value} state with "
+                        f"sharers={sorted(entry.sharers)} owner={entry.owner}")
+            if entry.state is MESIState.SHARED and entry.owner >= 0:
+                raise SimulationError(
+                    f"block {address:#x}: SHARED but owner={entry.owner}")
+            if not entry.sharers:
+                raise SimulationError(f"block {address:#x}: empty entry retained")

@@ -1,0 +1,100 @@
+"""Replacement policies for set-associative caches.
+
+Each policy manages victim selection within one cache (all sets). The
+interface is deliberately tiny — touch on every access, choose a victim
+among the valid ways of a set — so policies stay interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+
+
+class ReplacementPolicy(abc.ABC):
+    """Victim selection strategy for one cache."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def touch(self, set_index: int, way: int) -> None:
+        """Record a hit or fill of ``way`` in ``set_index``."""
+
+    @abc.abstractmethod
+    def victim(self, set_index: int, ways: List[int]) -> int:
+        """Choose which of the candidate ``ways`` to evict."""
+
+    def forget(self, set_index: int, way: int) -> None:
+        """A line was invalidated; drop its bookkeeping (optional)."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: victim is the way with the oldest touch."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._clock = 0
+        self._last_use: Dict[Tuple[int, int], int] = {}
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._last_use[(set_index, way)] = self._clock
+
+    def victim(self, set_index: int, ways: List[int]) -> int:
+        return min(ways, key=lambda w: self._last_use.get((set_index, w), 0))
+
+    def forget(self, set_index: int, way: int) -> None:
+        self._last_use.pop((set_index, way), None)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: victim is the way filled earliest."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._clock = 0
+        self._fill_time: Dict[Tuple[int, int], int] = {}
+
+    def touch(self, set_index: int, way: int) -> None:
+        # Only the fill establishes order; hits do not refresh it.
+        key = (set_index, way)
+        if key not in self._fill_time:
+            self._clock += 1
+            self._fill_time[key] = self._clock
+
+    def victim(self, set_index: int, ways: List[int]) -> int:
+        return min(ways, key=lambda w: self._fill_time.get((set_index, w), 0))
+
+    def forget(self, set_index: int, way: int) -> None:
+        self._fill_time.pop((set_index, way), None)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim (seeded for reproducibility)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0xC0FFEE) -> None:
+        self._rng = random.Random(seed)
+
+    def touch(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim(self, set_index: int, ways: List[int]) -> int:
+        return self._rng.choice(ways)
+
+
+def make_replacement(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by config name."""
+    if name == "lru":
+        return LRUPolicy()
+    if name == "fifo":
+        return FIFOPolicy()
+    if name == "random":
+        return RandomPolicy()
+    raise ConfigError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``describe``
+    Print the Table 1 system configuration.
+``list-benchmarks``
+    List the SPEC models and PowerGraph applications.
+``compare``
+    Run one workload on the baseline and Silent Shredder systems and
+    print the four headline metrics.
+``figure``
+    Regenerate one of the paper's figures/tables and print its data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (ablation_policies, fig12_counter_cache_sweep,
+                       fig4_memset, fig5_zeroing_writes, render_table,
+                       rows_to_csv, run_pair, table2_mechanisms)
+from .analysis.figures import fig8_to_11_study, study_summary
+from .config import bench_config, default_config
+from .workloads import SPEC_BENCHMARKS, multiprogrammed_tasks, powergraph_task
+
+POWERGRAPH_NAMES = ("PAGERANK", "SIMPLE_COLORING", "KCORE")
+
+FIGURES = ("fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12",
+           "table2", "policies")
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    config = default_config() if args.full else bench_config()
+    title = "Table 1 (full-size)" if args.full else "benchmark (scaled) system"
+    print(f"# {title}")
+    print(config.describe())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("SPEC CPU2006 models:")
+    for name in SPEC_BENCHMARKS:
+        print(f"  {name}")
+    print("PowerGraph applications:")
+    for name in POWERGRAPH_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    name = args.benchmark.upper()
+    if name in SPEC_BENCHMARKS:
+        def make_tasks():
+            return multiprogrammed_tasks(name, args.cores, scale=args.scale)
+    elif name in POWERGRAPH_NAMES:
+        def make_tasks():
+            return [powergraph_task(name, num_nodes=args.nodes)]
+    else:
+        print(f"unknown benchmark {args.benchmark!r}; try list-benchmarks",
+              file=sys.stderr)
+        return 2
+    result = run_pair(name, make_tasks)
+    print(render_table([result.row()],
+                       title=f"{name} — baseline vs Silent Shredder"))
+    return 0
+
+
+def _emit_rows(args: argparse.Namespace, rows, title: str) -> None:
+    print(render_table(rows, title=title))
+    if getattr(args, "csv", None):
+        with open(args.csv, "w", newline="") as stream:
+            rows_to_csv(rows, stream)
+        print(f"(csv written to {args.csv})")
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    which = args.name.lower()
+    if which == "fig4":
+        sizes = [256 << 10, 512 << 10, 1 << 20, 2 << 20]
+        rows = fig4_memset(sizes)
+        _emit_rows(args, rows, "Figure 4 — memset timing")
+    elif which == "fig5":
+        rows = fig5_zeroing_writes(list(POWERGRAPH_NAMES), num_nodes=1200)
+        _emit_rows(args, rows, "Figure 5 — zeroing writes")
+    elif which in ("fig8", "fig9", "fig10", "fig11"):
+        results = fig8_to_11_study(scale=args.scale, cores=args.cores)
+        column = {"fig8": ("write_savings_pct", "Figure 8 — write savings"),
+                  "fig9": ("read_savings_pct", "Figure 9 — read savings"),
+                  "fig10": ("read_speedup", "Figure 10 — read speedup"),
+                  "fig11": ("relative_ipc", "Figure 11 — relative IPC")}[which]
+        rows = [{"benchmark": r.workload, column[0]: r.row()[column[0]]}
+                for r in results]
+        _emit_rows(args, rows, column[1])
+        summary = study_summary(results)
+        print()
+        for key, value in summary.items():
+            print(f"{key}: {value:.2f}")
+    elif which == "fig12":
+        sizes = [2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10]
+        rows = fig12_counter_cache_sweep(sizes, scale=args.scale)
+        _emit_rows(args, rows, "Figure 12 — counter cache sweep")
+    elif which == "table2":
+        rows = table2_mechanisms()
+        _emit_rows(args, rows, "Table 2 — mechanisms")
+    elif which == "policies":
+        rows = ablation_policies()
+        _emit_rows(args, rows, "Shred-policy ablation (section 4.2)")
+    else:
+        print(f"unknown figure {args.name!r}; choose from {FIGURES}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_export_config(args: argparse.Namespace) -> int:
+    from .serialization import save_config
+    config = default_config() if args.full else bench_config()
+    save_config(config, args.path)
+    print(f"config written to {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Silent Shredder (ASPLOS 2016) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="print the system config")
+    describe.add_argument("--full", action="store_true",
+                          help="the paper's full-size Table 1 instead of "
+                               "the scaled benchmark system")
+    describe.set_defaults(func=_cmd_describe)
+
+    listing = sub.add_parser("list-benchmarks", help="list workloads")
+    listing.set_defaults(func=_cmd_list)
+
+    compare = sub.add_parser("compare",
+                             help="baseline vs Silent Shredder on one workload")
+    compare.add_argument("--benchmark", default="GCC")
+    compare.add_argument("--scale", type=float, default=0.5)
+    compare.add_argument("--cores", type=int, default=2)
+    compare.add_argument("--nodes", type=int, default=1500,
+                         help="graph size for PowerGraph workloads")
+    compare.set_defaults(func=_cmd_compare)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure/table")
+    figure.add_argument("name", choices=FIGURES)
+    figure.add_argument("--scale", type=float, default=0.5)
+    figure.add_argument("--cores", type=int, default=2)
+    figure.add_argument("--csv", help="also write the rows as CSV")
+    figure.set_defaults(func=_cmd_figure)
+
+    export = sub.add_parser("export-config",
+                            help="write a system config as JSON")
+    export.add_argument("path")
+    export.add_argument("--full", action="store_true",
+                        help="the full-size Table 1 system")
+    export.set_defaults(func=_cmd_export_config)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":       # pragma: no cover
+    sys.exit(main())

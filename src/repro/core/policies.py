@@ -1,0 +1,101 @@
+"""The three IV-manipulation shred policies of section 4.2.
+
+To render a reused page unintelligible without writing it, the IV must
+change. The page id and offset fields guarantee spatial uniqueness and
+must not change, which leaves three options:
+
+1. **Increment every minor counter** — changes all IVs but burns through
+   the small minor-counter space, raising the page re-encryption
+   frequency, and reads return garbage (software-incompatible).
+2. **Increment the major counter only** — no minor pressure, but reads
+   still return garbage: the libc runtime loader's assertion that fresh
+   pages are zero (NULL pointers) breaks.
+3. **Increment the major counter and reset minors to the reserved zero**
+   — Silent Shredder's choice: reads of shredded blocks are recognised
+   by minor == 0 and served as zero-filled without touching NVM, *and*
+   re-encryption frequency drops because minors restart.
+
+All three are implemented so the ablation benchmark can measure the
+re-encryption and compatibility trade-offs the paper argues about.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .iv import CounterBlock, MINOR_SHREDDED
+
+
+@dataclass
+class PolicyEffect:
+    """What applying a shred policy did to the page's counters."""
+
+    reencrypted: bool = False       # overflow forced a generation bump
+
+
+class ShredPolicy(abc.ABC):
+    """Mutates a page's counter block to make its old pads unreachable."""
+
+    name = "abstract"
+    #: Reads of shredded blocks return zeros (software compatible)?
+    reads_return_zero = False
+
+    @abc.abstractmethod
+    def apply(self, counters: CounterBlock) -> PolicyEffect:
+        """Shred the page by mutating its counters in place."""
+
+
+class IncrementMinorsPolicy(ShredPolicy):
+    """Option one: bump every minor counter (major untouched)."""
+
+    name = "increment-minors"
+    reads_return_zero = False
+
+    def apply(self, counters: CounterBlock) -> PolicyEffect:
+        overflow = any(m >= counters.minor_max for m in counters.minors)
+        if overflow:
+            # One counter cannot advance: the page generation must bump,
+            # which resets every minor (no data movement is needed during
+            # a shred — the old contents are being destroyed anyway).
+            counters.reencrypt()
+            return PolicyEffect(reencrypted=True)
+        for i in range(len(counters.minors)):
+            counters.minors[i] += 1
+        return PolicyEffect()
+
+
+class IncrementMajorPolicy(ShredPolicy):
+    """Option two: bump the major counter, leave minors unchanged."""
+
+    name = "increment-major"
+    reads_return_zero = False
+
+    def apply(self, counters: CounterBlock) -> PolicyEffect:
+        counters.major += 1
+        return PolicyEffect()
+
+
+class MajorResetMinorsPolicy(ShredPolicy):
+    """Option three (Silent Shredder): major++ and minors to reserved 0."""
+
+    name = "major-reset-minors"
+    reads_return_zero = True
+
+    def apply(self, counters: CounterBlock) -> PolicyEffect:
+        counters.shred()
+        return PolicyEffect()
+
+
+def make_policy(name: str) -> ShredPolicy:
+    """Instantiate a shred policy by name."""
+    policies = {
+        IncrementMinorsPolicy.name: IncrementMinorsPolicy,
+        IncrementMajorPolicy.name: IncrementMajorPolicy,
+        MajorResetMinorsPolicy.name: MajorResetMinorsPolicy,
+    }
+    if name not in policies:
+        raise ConfigError(f"unknown shred policy {name!r}; "
+                          f"choose from {sorted(policies)}")
+    return policies[name]()

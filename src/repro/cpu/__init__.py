@@ -1,0 +1,15 @@
+"""CPU timing model: in-order cores with a store buffer.
+
+The paper's evaluation reports IPC from gem5's detailed cores; this
+reproduction uses a transaction-level in-order core: one cycle per
+instruction (configurable base CPI), loads stall for the full memory
+latency, stores retire through a finite store buffer that only stalls
+the core when full. Relative IPC between the baseline and Silent
+Shredder — the quantity Figure 11 reports — is driven by exactly the
+latencies this model captures.
+"""
+
+from .core import Core, CoreStats
+from .tlb import TLB, TLBStats
+
+__all__ = ["Core", "CoreStats", "TLB", "TLBStats"]

@@ -1,0 +1,105 @@
+"""In-order core timing model."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from ..config import CPUConfig
+
+
+@dataclass
+class CoreStats:
+    """Retired-instruction and stall accounting for one core."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    loads: int = 0
+    stores: int = 0
+    load_stall_cycles: float = 0.0
+    store_stall_cycles: float = 0.0
+    fault_cycles: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class Core:
+    """One in-order core: compute advances time, loads stall, stores
+    drain through a finite store buffer."""
+
+    def __init__(self, core_id: int, config: CPUConfig) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.stats = CoreStats()
+        self._cycle_ns = config.cycle_ns
+        self._cpi = config.base_cpi
+        # Completion times (ns) of in-flight stores, oldest first.
+        self._store_buffer: Deque[float] = deque()
+        self._store_buffer_size = config.store_buffer_entries
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now_ns(self) -> float:
+        return self.stats.cycles * self._cycle_ns
+
+    def _advance(self, cycles: float) -> None:
+        self.stats.cycles += cycles
+
+    # -- instruction classes ----------------------------------------------------
+
+    def compute(self, instructions: int) -> None:
+        """Retire ``instructions`` non-memory instructions."""
+        if instructions <= 0:
+            return
+        self.stats.instructions += instructions
+        self._advance(instructions * self._cpi)
+
+    def load(self, latency_cycles: float) -> None:
+        """Retire one load that stalled for ``latency_cycles``."""
+        self.stats.instructions += 1
+        self.stats.loads += 1
+        self.stats.load_stall_cycles += latency_cycles
+        self._advance(self._cpi + latency_cycles)
+
+    def store(self, latency_cycles: float) -> None:
+        """Retire one store through the store buffer.
+
+        The store occupies a buffer entry until ``latency_cycles`` from
+        now; the core stalls only when the buffer is full.
+        """
+        self.stats.instructions += 1
+        self.stats.stores += 1
+        now = self.now_ns
+        while self._store_buffer and self._store_buffer[0] <= now:
+            self._store_buffer.popleft()
+        if len(self._store_buffer) >= self._store_buffer_size:
+            oldest = self._store_buffer.popleft()
+            stall_cycles = max(0.0, (oldest - now) / self._cycle_ns)
+            self.stats.store_stall_cycles += stall_cycles
+            self._advance(stall_cycles)
+            now = self.now_ns
+        self._store_buffer.append(now + latency_cycles * self._cycle_ns)
+        self._advance(self._cpi)
+
+    def stall(self, cycles: float, *, fault: bool = False) -> None:
+        """Stall without retiring an instruction (page faults etc.)."""
+        if cycles <= 0:
+            return
+        if fault:
+            self.stats.fault_cycles += cycles
+        self._advance(cycles)
+
+    def drain_stores(self) -> None:
+        """Wait for every outstanding store (an sfence at task end)."""
+        if not self._store_buffer:
+            return
+        last = self._store_buffer[-1]
+        if last > self.now_ns:
+            stall_cycles = (last - self.now_ns) / self._cycle_ns
+            self.stats.store_stall_cycles += stall_cycles
+            self._advance(stall_cycles)
+        self._store_buffer.clear()

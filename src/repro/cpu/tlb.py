@@ -1,0 +1,100 @@
+"""A per-core TLB with base- and huge-page entries.
+
+Section 1 and 7.2 of the paper motivate large allocations partly by
+translation cost: huge pages "skip one or more levels of translation
+and hence speed up the page table walk process". The TLB model makes
+that measurable: a miss costs a page-walk penalty, and one huge-page
+entry covers 512 base pages of reach.
+
+Disabled by default (``CPUConfig.tlb_entries == 0``) so the calibrated
+figure benchmarks are unaffected; the huge-page benchmark and tests
+enable it explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class TLBEntry:
+    """One cached translation."""
+
+    base_vpn: int
+    span: int                 # pages covered (1, or huge_size/page_size)
+    base_ppn: int
+    writable: bool
+
+
+@dataclass
+class TLBStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class TLB:
+    """Fully-associative, LRU translation cache."""
+
+    def __init__(self, entries: int, page_size: int,
+                 huge_span: int = 512) -> None:
+        self.capacity = entries
+        self.page_size = page_size
+        self.huge_span = huge_span
+        # base_vpn -> entry; ordered for LRU.
+        self._entries: "OrderedDict[int, TLBEntry]" = OrderedDict()
+        self.stats = TLBStats()
+
+    def lookup(self, vpn: int, *, write: bool) -> Optional[int]:
+        """Return the cached base physical page for ``vpn`` or None.
+
+        A write against a read-only entry is reported as a miss so the
+        kernel can run its copy-on-write fault path.
+        """
+        for base_vpn in (vpn, vpn - vpn % self.huge_span):
+            entry = self._entries.get(base_vpn)
+            if entry is not None and base_vpn + entry.span > vpn:
+                if write and not entry.writable:
+                    continue
+                self._entries.move_to_end(base_vpn)
+                self.stats.hits += 1
+                return entry.base_ppn + (vpn - base_vpn)
+        self.stats.misses += 1
+        return None
+
+    def insert(self, vpn: int, ppn: int, *, writable: bool,
+               huge: bool = False) -> None:
+        """Cache one translation (the whole unit, for huge pages)."""
+        if self.capacity <= 0:
+            return
+        if huge:
+            base_vpn = vpn - vpn % self.huge_span
+            entry = TLBEntry(base_vpn=base_vpn, span=self.huge_span,
+                             base_ppn=ppn - (vpn - base_vpn),
+                             writable=writable)
+        else:
+            entry = TLBEntry(base_vpn=vpn, span=1, base_ppn=ppn,
+                             writable=writable)
+        self._entries.pop(entry.base_vpn, None)
+        self._entries[entry.base_vpn] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, vpn: int) -> None:
+        """Drop any entry covering ``vpn`` (PTE change / munmap)."""
+        self._entries.pop(vpn, None)
+        self._entries.pop(vpn - vpn % self.huge_span, None)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

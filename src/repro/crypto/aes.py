@@ -1,0 +1,199 @@
+"""AES-128 implemented from scratch (FIPS-197).
+
+Built for the functional-correctness side of the reproduction: the secure
+NVMM controller uses this cipher to generate counter-mode pads when the
+simulation runs in ``cipher="aes"`` mode, so the security tests (shredded
+data is unintelligible, pads never repeat, known vectors match) exercise a
+real cipher rather than a stand-in.
+
+The implementation favours clarity over raw speed: the S-box is derived
+from the GF(2^8) multiplicative inverse plus the affine transform, the key
+schedule follows the spec directly, and rounds operate on a 16-byte state
+list. Encryption of one block costs a few microseconds in CPython, which
+is fine for tests; large timing sweeps use the fast cipher instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import CipherError
+from .cipher import BlockCipher
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) with the AES polynomial 0x11b."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) (AES field)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> List[int]:
+    """Derive the AES S-box: multiplicative inverse then affine transform."""
+    # Build inverse table via exponentiation tables over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value = _gf_mul(value, 3)
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = [0] * 256
+    for byte in range(256):
+        inv = 0 if byte == 0 else exp[255 - log[byte]]
+        # Affine transform: b ^ rot1 ^ rot2 ^ rot3 ^ rot4 ^ 0x63
+        x = inv
+        transformed = x
+        for _ in range(4):
+            x = ((x << 1) | (x >> 7)) & 0xFF
+            transformed ^= x
+        sbox[byte] = transformed ^ 0x63
+    return sbox
+
+
+SBOX: List[int] = _build_sbox()
+INV_SBOX: List[int] = [0] * 256
+for _i, _v in enumerate(SBOX):
+    INV_SBOX[_v] = _i
+
+RCON: List[int] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+class AES128(BlockCipher):
+    """AES with a 128-bit key and 16-byte blocks."""
+
+    block_size = 16
+    name = "aes"
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise CipherError(f"AES-128 needs a 16-byte key, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        """Produce the 11 round keys as flat 16-byte lists."""
+        words: List[List[int]] = [list(key[i:i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]                 # RotWord
+                temp = [SBOX[b] for b in temp]             # SubWord
+                temp[0] ^= RCON[i // 4 - 1]
+            words.append([words[i - 4][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for round_index in range(11):
+            flat: List[int] = []
+            for word in words[4 * round_index: 4 * round_index + 4]:
+                flat.extend(word)
+            round_keys.append(flat)
+        return round_keys
+
+    # -- round transformations (state is a flat column-major 16-list) ----
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        # state[col*4 + row]; row r shifts left by r.
+        s = state
+        return [
+            s[0], s[5], s[10], s[15],
+            s[4], s[9], s[14], s[3],
+            s[8], s[13], s[2], s[7],
+            s[12], s[1], s[6], s[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        s = state
+        return [
+            s[0], s[13], s[10], s[7],
+            s[4], s[1], s[14], s[11],
+            s[8], s[5], s[2], s[15],
+            s[12], s[9], s[6], s[3],
+        ]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            base = col * 4
+            a0, a1, a2, a3 = state[base:base + 4]
+            state[base + 0] = _gf_mul(a0, 2) ^ _gf_mul(a1, 3) ^ a2 ^ a3
+            state[base + 1] = a0 ^ _gf_mul(a1, 2) ^ _gf_mul(a2, 3) ^ a3
+            state[base + 2] = a0 ^ a1 ^ _gf_mul(a2, 2) ^ _gf_mul(a3, 3)
+            state[base + 3] = _gf_mul(a0, 3) ^ a1 ^ a2 ^ _gf_mul(a3, 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            base = col * 4
+            a0, a1, a2, a3 = state[base:base + 4]
+            state[base + 0] = (_gf_mul(a0, 14) ^ _gf_mul(a1, 11)
+                               ^ _gf_mul(a2, 13) ^ _gf_mul(a3, 9))
+            state[base + 1] = (_gf_mul(a0, 9) ^ _gf_mul(a1, 14)
+                               ^ _gf_mul(a2, 11) ^ _gf_mul(a3, 13))
+            state[base + 2] = (_gf_mul(a0, 13) ^ _gf_mul(a1, 9)
+                               ^ _gf_mul(a2, 14) ^ _gf_mul(a3, 11))
+            state[base + 3] = (_gf_mul(a0, 11) ^ _gf_mul(a1, 13)
+                               ^ _gf_mul(a2, 9) ^ _gf_mul(a3, 14))
+
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: Sequence[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    # -- public API -------------------------------------------------------
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        if len(plaintext) != 16:
+            raise CipherError("AES block must be exactly 16 bytes")
+        state = list(plaintext)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, 10):
+            self._sub_bytes(state)
+            state = self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != 16:
+            raise CipherError("AES block must be exactly 16 bytes")
+        state = list(ciphertext)
+        self._add_round_key(state, self._round_keys[10])
+        for round_index in range(9, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,11 @@
+"""Integrity substrate: Bonsai-style Merkle tree over encryption counters.
+
+Counter-mode security requires that counters (IVs) cannot be tampered
+with or replayed (section 2.2); the paper cites Bonsai Merkle Trees
+[31, 40] with ~2 % overhead. This package provides the tree used by the
+secure controllers to authenticate counter blocks fetched from NVM.
+"""
+
+from .merkle import MerkleTree
+
+__all__ = ["MerkleTree"]

@@ -1,0 +1,44 @@
+"""Operating-system model: allocation, page faults, zeroing, hypervisor.
+
+Models the kernel behaviour the paper's evaluation depends on
+(sections 2.3 and 5):
+
+* a physical page allocator with an optional FreeBSD-style pre-zeroed
+  pool,
+* Linux-style anonymous memory: fresh reads map to the shared Zero
+  Page; the first write takes a copy-on-write fault that allocates and
+  *zeroes* a physical page before mapping it,
+* five page-zeroing strategies — temporal stores, non-temporal stores,
+  DMA-engine bulk zeroing, RowClone-style in-memory zeroing, and the
+  Silent Shredder shred command,
+* syscalls for user-level bulk zero-initialisation (section 7.2), and
+* a hypervisor with per-VM memory grants and ballooning, reproducing
+  the duplicate-shredding structure of Figure 1.
+"""
+
+from .phys_alloc import PhysicalPageAllocator
+from .page_table import PageTable, PageTableEntry
+from .process import Process
+from .zeroing import ZeroingEngine, ZeroingResult, ZeroingStats
+from .kernel import Kernel, KernelStats
+from .hypervisor import Hypervisor, VirtualMachine
+from .pmem import PersistentHeap, PersistentRegion
+from .enclave import Enclave, EnclaveManager
+
+__all__ = [
+    "Enclave",
+    "EnclaveManager",
+    "Hypervisor",
+    "Kernel",
+    "KernelStats",
+    "PageTable",
+    "PersistentHeap",
+    "PersistentRegion",
+    "PageTableEntry",
+    "PhysicalPageAllocator",
+    "Process",
+    "VirtualMachine",
+    "ZeroingEngine",
+    "ZeroingResult",
+    "ZeroingStats",
+]

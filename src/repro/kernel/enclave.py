@@ -1,0 +1,80 @@
+"""Hardware-managed enclave shredding (section 4.1).
+
+Silent Shredder normally trusts the OS to issue shred commands: "an
+untrusted OS can maliciously avoid page zeroing in order to cause data
+leak between processes. If the OS is not trusted, then processes must
+run in secure enclaves... the hardware can notify Silent Shredder
+directly when a page from an enclave is going to be deallocated."
+
+:class:`EnclaveManager` models that adaptation: enclave page ownership
+is tracked in *hardware* (next to the memory controller), and enclave
+teardown drives the shred datapath directly — the kernel cannot skip
+it, because the manager refuses to release a page back to the OS pool
+before its counters are shredded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..errors import ProtectionError, SimulationError
+
+
+@dataclass
+class Enclave:
+    """One hardware-tracked protection domain."""
+
+    enclave_id: int
+    pages: List[int] = field(default_factory=list)
+    torn_down: bool = False
+
+
+class EnclaveManager:
+    """Hardware-side registry of enclave pages with teardown shredding."""
+
+    def __init__(self, machine) -> None:
+        if machine.shred_register is None:
+            raise SimulationError("enclaves require a Silent Shredder "
+                                  "controller (hardware shred datapath)")
+        self.machine = machine
+        self.page_size = machine.config.kernel.page_size
+        self._enclaves: Dict[int, Enclave] = {}
+        self._owned_pages: Set[int] = set()
+        self._next_id = 1
+        self.teardown_shreds = 0
+
+    def create_enclave(self, pages: List[int]) -> Enclave:
+        """Register pages as enclave-owned (EPC-style)."""
+        for page in pages:
+            if page in self._owned_pages:
+                raise ProtectionError(f"page {page} already enclave-owned")
+        enclave = Enclave(enclave_id=self._next_id, pages=list(pages))
+        self._next_id += 1
+        self._enclaves[enclave.enclave_id] = enclave
+        self._owned_pages.update(pages)
+        return enclave
+
+    def is_enclave_page(self, page: int) -> bool:
+        return page in self._owned_pages
+
+    def guard_reuse(self, page: int) -> None:
+        """The allocator-side check: handing an enclave page to anyone
+        else without teardown is a protection violation."""
+        if page in self._owned_pages:
+            raise ProtectionError(
+                f"page {page} belongs to a live enclave; teardown first")
+
+    def teardown(self, enclave_id: int) -> int:
+        """Destroy an enclave: *hardware* shreds every page, then the
+        pages become reusable. Returns the number of pages shredded."""
+        enclave = self._enclaves.get(enclave_id)
+        if enclave is None or enclave.torn_down:
+            raise SimulationError(f"no live enclave {enclave_id}")
+        for page in enclave.pages:
+            self.machine.shred_register.write(page * self.page_size,
+                                              kernel_mode=True)
+            self._owned_pages.discard(page)
+            self.teardown_shreds += 1
+        enclave.torn_down = True
+        return len(enclave.pages)

@@ -1,0 +1,142 @@
+"""Hypervisor model: inter-VM isolation and memory ballooning.
+
+Reproduces the structure of Figure 1: a VM requests host physical
+pages (step 1), the hypervisor zeroes them before granting to prevent
+inter-VM data leak (step 2), a process inside the VM requests memory
+(step 3), and the guest kernel zeroes pages again before mapping them
+(step 4) — the *duplicate shredding* that makes the shred command so
+valuable in virtualised systems (section 7.2).
+
+Ballooning (VMware-style): under memory pressure the hypervisor
+reclaims free pages from one VM and grants them to another; every
+reclaimed-then-granted page is shredded again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import OutOfMemoryError, SimulationError
+from .kernel import Kernel
+from .phys_alloc import PhysicalPageAllocator
+from .zeroing import ZeroingEngine, ZeroingStats
+
+
+@dataclass
+class HypervisorStats:
+    grants: int = 0
+    pages_granted: int = 0
+    pages_reclaimed: int = 0
+    balloon_operations: int = 0
+
+
+class VirtualMachine:
+    """One guest: a kernel over pages granted by the hypervisor."""
+
+    def __init__(self, vm_id: int, machine, zero_page_ppn: int) -> None:
+        self.vm_id = vm_id
+        allocator = PhysicalPageAllocator([])
+        self.kernel = Kernel(machine, allocator=allocator)
+        self.kernel.zero_page_ppn = zero_page_ppn
+        self.granted_pages: List[int] = []
+
+    @property
+    def free_pages(self) -> int:
+        return self.kernel.allocator.free_pages
+
+
+class Hypervisor:
+    """Manages host physical memory across virtual machines."""
+
+    def __init__(self, machine, *, zeroing: Optional[ZeroingEngine] = None) -> None:
+        self.machine = machine
+        self.config = machine.config
+        self.page_size = self.config.kernel.page_size
+        # Page 0 is the host-wide shared Zero Page.
+        self.host_allocator = PhysicalPageAllocator.over_range(
+            1, self.config.num_pages - 1)
+        self.zeroing = zeroing if zeroing is not None else ZeroingEngine(machine)
+        self.vms: Dict[int, VirtualMachine] = {}
+        self._next_vm_id = 1
+        self.stats = HypervisorStats()
+
+    # -- VM lifecycle ------------------------------------------------------------
+
+    def create_vm(self, *, initial_pages: int = 0) -> VirtualMachine:
+        vm = VirtualMachine(self._next_vm_id, self.machine, zero_page_ppn=0)
+        self.vms[vm.vm_id] = vm
+        self._next_vm_id += 1
+        if initial_pages:
+            self.grant(vm.vm_id, initial_pages)
+        return vm
+
+    def destroy_vm(self, vm_id: int) -> int:
+        """Tear down a VM; its pages return to the host pool un-zeroed
+        (they will be shredded before the next grant)."""
+        vm = self.vms.pop(vm_id, None)
+        if vm is None:
+            raise SimulationError(f"no such VM {vm_id}")
+        for pid in list(vm.kernel.processes):
+            vm.kernel.exit_process(pid)
+        reclaimed = vm.kernel.allocator.reclaim(vm.kernel.allocator.free_pages)
+        for page in reclaimed:
+            self.host_allocator.free(page) if self.host_allocator.owns(page) \
+                else self.host_allocator.donate([page])
+        self.stats.pages_reclaimed += len(reclaimed)
+        return len(reclaimed)
+
+    # -- memory grants (Figure 1, steps 1-2) ------------------------------------------
+
+    def grant(self, vm_id: int, num_pages: int) -> List[int]:
+        """Zero (shred) host pages and grant them to a VM."""
+        vm = self.vms.get(vm_id)
+        if vm is None:
+            raise SimulationError(f"no such VM {vm_id}")
+        if self.host_allocator.free_pages < num_pages:
+            raise OutOfMemoryError(
+                f"host has {self.host_allocator.free_pages} free pages, "
+                f"VM {vm_id} asked for {num_pages}")
+        pages = []
+        for _ in range(num_pages):
+            page, already_zeroed = self.host_allocator.allocate_with_state()
+            if not already_zeroed:
+                self.zeroing.zero_page(page)
+            pages.append(page)
+        # Remove from host ownership and donate to the guest allocator.
+        for page in pages:
+            self.host_allocator.transfer_out(page)
+        vm.kernel.allocator.donate(pages)
+        vm.granted_pages.extend(pages)
+        self.stats.grants += 1
+        self.stats.pages_granted += num_pages
+        return pages
+
+    # -- ballooning ------------------------------------------------------------------
+
+    def balloon(self, victim_vm_id: int, beneficiary_vm_id: int,
+                num_pages: int) -> int:
+        """Reclaim free pages from one VM and grant them to another.
+
+        Every moved page is zeroed by the hypervisor before the new VM
+        sees it, so frequent ballooning means frequent shredding.
+        """
+        victim = self.vms.get(victim_vm_id)
+        beneficiary = self.vms.get(beneficiary_vm_id)
+        if victim is None or beneficiary is None:
+            raise SimulationError("both VMs must exist for ballooning")
+        reclaimed = victim.kernel.allocator.reclaim(num_pages)
+        victim.granted_pages = [p for p in victim.granted_pages
+                                if p not in set(reclaimed)]
+        for page in reclaimed:
+            self.zeroing.zero_page(page)
+        beneficiary.kernel.allocator.donate(reclaimed)
+        beneficiary.granted_pages.extend(reclaimed)
+        self.stats.balloon_operations += 1
+        self.stats.pages_reclaimed += len(reclaimed)
+        self.stats.pages_granted += len(reclaimed)
+        return len(reclaimed)
+
+    @property
+    def zeroing_stats(self) -> ZeroingStats:
+        return self.zeroing.stats

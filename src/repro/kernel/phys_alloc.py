@@ -1,0 +1,165 @@
+"""Physical page allocator.
+
+A free list over physical page numbers with two behaviours that matter
+to the reproduction:
+
+* **LIFO reuse**: freed pages are handed out again promptly, so pages
+  regularly move between processes — exactly the situation that forces
+  shredding before reuse.
+* An optional **pre-zeroed pool** (FreeBSD-style, section 2.3): pages
+  zeroed ahead of time during idle periods can be mapped without
+  fault-time zeroing; the pool drains under load.
+
+The allocator also supports donating and reclaiming page ranges, which
+the hypervisor uses to grant host pages to guest kernels (ballooning).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Set
+
+from ..errors import AddressError, OutOfMemoryError
+
+
+class PhysicalPageAllocator:
+    """Free-list allocator over physical page numbers."""
+
+    def __init__(self, pages: Iterable[int]) -> None:
+        self._free: Deque[int] = deque(sorted(pages))
+        self._all: Set[int] = set(self._free)
+        self._prezeroed: Deque[int] = deque()
+        self.allocations = 0
+        self.frees = 0
+        self.prezeroed_hits = 0
+
+    @classmethod
+    def over_range(cls, first_page: int, num_pages: int) -> "PhysicalPageAllocator":
+        if num_pages < 1:
+            raise AddressError("allocator needs at least one page")
+        return cls(range(first_page, first_page + num_pages))
+
+    # -- core allocation -----------------------------------------------------
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free) + len(self._prezeroed)
+
+    @property
+    def total_pages(self) -> int:
+        return len(self._all)
+
+    def owns(self, page: int) -> bool:
+        return page in self._all
+
+    def allocate(self) -> int:
+        """Take one page; pre-zeroed pages are preferred.
+
+        Returns the page number. Use :meth:`was_prezeroed` semantics via
+        :meth:`allocate_with_state` when the caller must know whether
+        zeroing is still required.
+        """
+        page, _ = self.allocate_with_state()
+        return page
+
+    def allocate_with_state(self) -> "tuple[int, bool]":
+        """Take one page, returning ``(page, already_zeroed)``."""
+        if self._prezeroed:
+            self.allocations += 1
+            self.prezeroed_hits += 1
+            return self._prezeroed.popleft(), True
+        if not self._free:
+            raise OutOfMemoryError("physical memory exhausted")
+        self.allocations += 1
+        return self._free.popleft(), False
+
+    def allocate_contiguous(self, count: int) -> List[int]:
+        """Take ``count`` physically contiguous pages (huge-page backing).
+
+        Scans the free list for the lowest contiguous run; raises
+        :class:`OutOfMemoryError` when fragmentation defeats the request.
+        Pre-zeroed pages are not considered (huge pages are zeroed as a
+        unit by the caller).
+        """
+        if count == 1:
+            page, _ = self.allocate_with_state()
+            return [page]
+        free_sorted = sorted(self._free)
+        run_start = 0
+        for i in range(1, len(free_sorted) + 1):
+            if i == len(free_sorted) or free_sorted[i] != free_sorted[i - 1] + 1:
+                if i - run_start >= count:
+                    chosen = free_sorted[run_start:run_start + count]
+                    chosen_set = set(chosen)
+                    self._free = type(self._free)(
+                        p for p in self._free if p not in chosen_set)
+                    self.allocations += count
+                    return chosen
+                run_start = i
+        raise OutOfMemoryError(
+            f"no contiguous run of {count} pages available")
+
+    def free(self, page: int) -> None:
+        """Return a page to the free list (its old contents intact —
+        shredding happens at reuse time, not free time)."""
+        if page not in self._all:
+            raise AddressError(f"page {page} does not belong to this allocator")
+        self._free.appendleft(page)   # LIFO: encourage prompt reuse
+        self.frees += 1
+
+    # -- pre-zeroed pool --------------------------------------------------------
+
+    def stock_prezeroed(self, count: int) -> List[int]:
+        """Move up to ``count`` free pages into the pre-zeroed pool.
+
+        The caller is responsible for actually zeroing them (the kernel
+        does this during idle time); the returned list says which pages
+        to zero.
+        """
+        moved = []
+        while count > 0 and self._free:
+            page = self._free.popleft()
+            self._prezeroed.append(page)
+            moved.append(page)
+            count -= 1
+        return moved
+
+    # -- donation / reclaim (hypervisor support) ------------------------------------
+
+    def donate(self, pages: Iterable[int]) -> None:
+        """Add foreign pages to this allocator (hypervisor grant)."""
+        for page in pages:
+            if page in self._all:
+                raise AddressError(f"page {page} already owned")
+            self._all.add(page)
+            self._free.append(page)
+
+    def claim(self, page: int) -> None:
+        """Remove one specific free page from circulation (persistent
+        region re-attachment after reboot)."""
+        if page not in self._all:
+            raise AddressError(f"page {page} does not belong to this allocator")
+        if page in self._prezeroed:
+            self._prezeroed.remove(page)
+        elif page in self._free:
+            self._free.remove(page)
+        else:
+            raise AddressError(f"page {page} is not free")
+        self.allocations += 1
+
+    def transfer_out(self, page: int) -> None:
+        """Relinquish ownership of an already-allocated page (grant)."""
+        if page not in self._all:
+            raise AddressError(f"page {page} does not belong to this allocator")
+        self._all.discard(page)
+
+    def reclaim(self, count: int) -> List[int]:
+        """Remove up to ``count`` free pages entirely (balloon deflate)."""
+        taken: List[int] = []
+        while count > 0 and (self._free or self._prezeroed):
+            source = self._free if self._free else self._prezeroed
+            page = source.pop()
+            self._all.discard(page)
+            taken.append(page)
+            count -= 1
+        return taken

@@ -1,0 +1,70 @@
+"""Process model: a virtual address space plus simple mmap-style regions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..errors import AddressError
+from .page_table import PageTable
+
+#: Virtual address where process heaps begin (arbitrary, page aligned).
+HEAP_BASE = 0x1000_0000
+
+
+@dataclass
+class Region:
+    """One mmap'd virtual region."""
+
+    start: int
+    length: int
+    huge: bool = False        # backed by huge pages (2 MB units)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+class Process:
+    """One process: pid, page table, and a bump-pointer mmap allocator."""
+
+    def __init__(self, pid: int, page_size: int) -> None:
+        self.pid = pid
+        self.page_size = page_size
+        self.page_table = PageTable(page_size)
+        self.regions: List[Region] = []
+        self._next_va = HEAP_BASE
+        self.resident_pages = 0
+
+    def mmap(self, length: int, *, huge: bool = False,
+             huge_page_size: int = 0) -> Region:
+        """Reserve a new virtual region (no physical backing yet).
+
+        Like anonymous ``mmap``: physical pages arrive lazily through
+        page faults on first touch. ``huge`` rounds the region and its
+        virtual base up to ``huge_page_size`` so each fault populates a
+        whole huge page.
+        """
+        if length <= 0:
+            raise AddressError("mmap length must be positive")
+        unit = huge_page_size if huge else self.page_size
+        if huge and (unit <= 0 or unit % self.page_size):
+            raise AddressError("huge page size must be a multiple of the "
+                               "base page size")
+        pages = (length + unit - 1) // unit * (unit // self.page_size)
+        start = (self._next_va + unit - 1) // unit * unit
+        region = Region(start=start, length=pages * self.page_size, huge=huge)
+        self._next_va = region.end + self.page_size   # guard gap
+        self.regions.append(region)
+        return region
+
+    def region_containing(self, vaddr: int) -> Region:
+        for region in self.regions:
+            if region.start <= vaddr < region.end:
+                return region
+        raise AddressError(f"address {vaddr:#x} outside any region of "
+                           f"pid {self.pid}")
+
+    def vpns_of_region(self, region: Region) -> range:
+        return range(region.start // self.page_size,
+                     region.end // self.page_size)

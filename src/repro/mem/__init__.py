@@ -1,0 +1,34 @@
+"""Memory substrate: NVM/DRAM device models, channels, wear levelling.
+
+This package models everything below the secure controller:
+
+* :mod:`repro.mem.nvm` — a PCM-like device with asymmetric read/write
+  latency, per-access energy, per-line wear counters with an endurance
+  limit, Data-Comparison-Write and Flip-N-Write bit-flip reduction.
+* :mod:`repro.mem.dram` — a DRAM device used for comparison points.
+* :mod:`repro.mem.wear` — Start-Gap wear levelling (Qureshi et al.).
+* :mod:`repro.mem.channel` — channel bandwidth / busy-time model.
+* :mod:`repro.mem.controller` — the plain (unencrypted) memory
+  controller the secure controllers build on.
+"""
+
+from .stats import MemoryStats
+from .device import MemoryDevice
+from .nvm import NVMDevice
+from .dram import DRAMDevice
+from .wear import StartGapWearLeveler, RegionedStartGap
+from .channel import ChannelModel
+from .controller import MemoryController
+from .snoop import BusSnooper
+
+__all__ = [
+    "BusSnooper",
+    "ChannelModel",
+    "DRAMDevice",
+    "MemoryController",
+    "MemoryDevice",
+    "MemoryStats",
+    "NVMDevice",
+    "RegionedStartGap",
+    "StartGapWearLeveler",
+]

@@ -1,0 +1,37 @@
+"""DRAM device model: the comparison substrate for Table 2 / Figure 4.
+
+DRAM differs from the NVM model in the three ways that matter to the
+paper's argument: writes are symmetric and cheap, there is no endurance
+limit, and the device is volatile — a power cycle clears it, which is
+why DRAM does not suffer the data-remanence vulnerability but also
+cannot provide persistent memory.
+"""
+
+from __future__ import annotations
+
+from ..config import DRAMConfig
+from .device import MemoryDevice
+
+
+class DRAMDevice(MemoryDevice):
+    """Volatile DRAM with symmetric read/write latency and refresh power."""
+
+    def __init__(self, config: DRAMConfig, block_size: int = 64, *,
+                 functional: bool = True) -> None:
+        super().__init__(
+            config.capacity_bytes, block_size,
+            read_latency_ns=config.read_latency_ns,
+            write_latency_ns=config.write_latency_ns,
+            read_energy_pj=config.read_energy_pj,
+            write_energy_pj=config.write_energy_pj,
+            functional=functional,
+        )
+        self.config = config
+
+    def refresh_energy_pj(self, duration_ns: float) -> float:
+        """Background refresh energy over a time window."""
+        return self.config.refresh_power_mw * 1e-3 * duration_ns  # mW * ns = pJ
+
+    def power_cycle(self) -> None:
+        """Volatility: all stored lines are lost on power-off."""
+        self._lines.clear()

@@ -1,0 +1,40 @@
+"""Bus-snooping probe: the section 2.2 / 4.1 attack instrument.
+
+Attach a :class:`BusSnooper` to a memory controller and it records
+every payload that crosses the processor<->memory bus. The paper's
+argument for processor-side counter-mode encryption is precisely that
+this tap only ever observes ciphertext; memory-side (secure-DIMM)
+encryption leaves the bus carrying plaintext.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class BusSnooper:
+    """Records (kind, address, payload) for every bus transaction."""
+
+    def __init__(self, max_records: int = 100_000) -> None:
+        self.max_records = max_records
+        self.records: List[Tuple[str, int, Optional[bytes]]] = []
+        self.dropped = 0
+
+    def observe(self, kind: str, address: int,
+                payload: Optional[bytes]) -> None:
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append((kind, address,
+                             bytes(payload) if payload is not None else None))
+
+    def search(self, needle: bytes) -> List[Tuple[str, int]]:
+        """All transactions whose payload contains ``needle``."""
+        hits = []
+        for kind, address, payload in self.records:
+            if payload is not None and needle in payload:
+                hits.append((kind, address))
+        return hits
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,69 @@
+"""Counters collected by memory devices and controllers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class MemoryStats:
+    """Access counters for one device or controller.
+
+    ``reads``/``writes`` count block transactions; ``bits_written`` counts
+    actual cell programs after Data-Comparison-Write / Flip-N-Write, which
+    is what endurance and write energy scale with.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bits_written: int = 0
+    read_energy_pj: float = 0.0
+    write_energy_pj: float = 0.0
+    total_read_latency_ns: float = 0.0
+    total_write_latency_ns: float = 0.0
+
+    def record_read(self, nbytes: int, latency_ns: float, energy_pj: float) -> None:
+        self.reads += 1
+        self.bytes_read += nbytes
+        self.total_read_latency_ns += latency_ns
+        self.read_energy_pj += energy_pj
+
+    def record_write(self, nbytes: int, bits_flipped: int, latency_ns: float,
+                     energy_pj: float) -> None:
+        self.writes += 1
+        self.bytes_written += nbytes
+        self.bits_written += bits_flipped
+        self.total_write_latency_ns += latency_ns
+        self.write_energy_pj += energy_pj
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self.read_energy_pj + self.write_energy_pj
+
+    @property
+    def avg_read_latency_ns(self) -> float:
+        return self.total_read_latency_ns / self.reads if self.reads else 0.0
+
+    @property
+    def avg_write_latency_ns(self) -> float:
+        return self.total_write_latency_ns / self.writes if self.writes else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy, convenient for result tables."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "bits_written": self.bits_written,
+            "read_energy_pj": self.read_energy_pj,
+            "write_energy_pj": self.write_energy_pj,
+            "avg_read_latency_ns": self.avg_read_latency_ns,
+            "avg_write_latency_ns": self.avg_write_latency_ns,
+        }
+
+    def reset(self) -> None:
+        self.__init__()  # type: ignore[misc]

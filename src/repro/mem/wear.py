@@ -1,0 +1,154 @@
+"""Start-Gap wear levelling (Qureshi et al., MICRO 2009).
+
+Start-Gap uniformly spreads writes over a region of memory lines using
+only two registers. A region of ``n`` logical lines maps onto ``n + 1``
+physical slots; one slot is always the empty *gap*. Every
+``gap_move_interval`` writes the line just above the gap is copied into
+the gap and the gap pointer moves down one slot; when the gap reaches
+slot 0 it wraps back to the top (copying slot ``n`` into slot 0) and the
+*start* register advances, so over time every logical line visits every
+physical slot.
+
+Mapping (the published formulation):
+
+    pa = (logical + start) mod n
+    if pa >= gap: pa += 1
+
+with ``start`` in ``[0, n)`` and ``gap`` in ``[0, n]``. The correctness
+invariant — the logical view of the data never changes across gap moves —
+is exercised by a hypothesis property test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import AddressError
+
+
+class StartGapWearLeveler:
+    """Remaps logical line indices to physical slot indices.
+
+    Parameters
+    ----------
+    num_lines:
+        Logical lines in the region (the physical region holds one more).
+    gap_move_interval:
+        Writes between gap movements (the paper's psi, typically 100).
+    move_hook:
+        Optional callback ``(src_physical, dst_physical)`` invoked when
+        the gap moves, so the owner can copy the slot's contents.
+    """
+
+    def __init__(self, num_lines: int, gap_move_interval: int = 100,
+                 move_hook: Optional[Callable[[int, int], None]] = None) -> None:
+        if num_lines < 1:
+            raise AddressError("start-gap region needs at least one line")
+        if gap_move_interval < 1:
+            raise AddressError("gap move interval must be positive")
+        self.num_lines = num_lines
+        self.gap_move_interval = gap_move_interval
+        self.move_hook = move_hook
+        self.start = 0
+        self.gap = num_lines          # the spare top slot starts empty
+        self.writes_since_move = 0
+        self.total_gap_moves = 0
+
+    @property
+    def num_physical_slots(self) -> int:
+        return self.num_lines + 1
+
+    def translate(self, logical: int) -> int:
+        """Map a logical line index to its current physical slot."""
+        if logical < 0 or logical >= self.num_lines:
+            raise AddressError(f"logical line {logical} out of region of "
+                               f"{self.num_lines}")
+        physical = (logical + self.start) % self.num_lines
+        if physical >= self.gap:
+            physical += 1
+        return physical
+
+    def record_write(self, logical: int = 0) -> None:
+        """Account one write; move the gap when the interval elapses."""
+        self.writes_since_move += 1
+        if self.writes_since_move >= self.gap_move_interval:
+            self.writes_since_move = 0
+            self._move_gap()
+
+    def _move_gap(self) -> None:
+        self.total_gap_moves += 1
+        if self.gap == 0:
+            # Wrap: the gap jumps from slot 0 back to the top slot. The
+            # data currently in the top slot moves into slot 0, and the
+            # start register advances one line.
+            if self.move_hook is not None:
+                self.move_hook(self.num_lines, 0)
+            self.gap = self.num_lines
+            self.start = (self.start + 1) % self.num_lines
+            return
+        if self.move_hook is not None:
+            self.move_hook(self.gap - 1, self.gap)
+        self.gap -= 1
+
+
+class RegionedStartGap:
+    """Start-Gap applied per fixed-size region (the deployable form).
+
+    One global gap over terabytes rotates far too slowly to matter;
+    practical designs partition memory into regions of a few hundred
+    lines, each with its own start/gap registers and one spare line.
+    Physical layout: region ``r`` occupies slots
+    ``[r*(lines+1), (r+1)*(lines+1))``.
+    """
+
+    def __init__(self, total_logical_lines: int, lines_per_region: int = 256,
+                 gap_move_interval: int = 100,
+                 move_hook: Optional[Callable[[int, int], None]] = None) -> None:
+        if total_logical_lines < 1:
+            raise AddressError("need at least one logical line")
+        if lines_per_region < 1:
+            raise AddressError("region size must be positive")
+        self.total_logical_lines = total_logical_lines
+        self.lines_per_region = lines_per_region
+        self.gap_move_interval = gap_move_interval
+        self.move_hook = move_hook
+        self.num_regions = (total_logical_lines + lines_per_region - 1)             // lines_per_region
+        self._levelers: dict = {}
+
+    @property
+    def num_physical_slots(self) -> int:
+        return self.num_regions * (self.lines_per_region + 1)
+
+    def _leveler(self, region: int) -> StartGapWearLeveler:
+        leveler = self._levelers.get(region)
+        if leveler is None:
+            lines = min(self.lines_per_region,
+                        self.total_logical_lines
+                        - region * self.lines_per_region)
+            base = region * (self.lines_per_region + 1)
+            hook = None
+            if self.move_hook is not None:
+                outer = self.move_hook
+
+                def hook(src: int, dst: int, _base=base) -> None:
+                    outer(_base + src, _base + dst)
+
+            leveler = StartGapWearLeveler(lines, self.gap_move_interval,
+                                          move_hook=hook)
+            self._levelers[region] = leveler
+        return leveler
+
+    def translate(self, logical: int) -> int:
+        if logical < 0 or logical >= self.total_logical_lines:
+            raise AddressError(f"logical line {logical} out of range")
+        region, local = divmod(logical, self.lines_per_region)
+        return (region * (self.lines_per_region + 1)
+                + self._leveler(region).translate(local))
+
+    def record_write(self, logical: int) -> None:
+        region = logical // self.lines_per_region
+        self._leveler(region).record_write()
+
+    @property
+    def total_gap_moves(self) -> int:
+        return sum(l.total_gap_moves for l in self._levelers.values())

@@ -1,0 +1,18 @@
+"""Trace-generating runtime: simulated heaps, typed arrays, memset.
+
+Workloads (graph analytics, SPEC-like models, microbenchmarks) execute
+real computations over data structures whose storage lives in simulated
+virtual memory: every element access is translated by the kernel model
+(taking page faults, triggering zeroing/shredding) and timed through
+the cache hierarchy, while the values themselves are kept in fast
+shadow storage so algorithms compute correct results even in
+timing-only mode. In functional mode the runtime also pushes the real
+bytes through the encrypted memory, allowing end-to-end verification.
+"""
+
+from .context import ExecutionContext
+from .array import SimArray
+from .trace import TraceEvent, TraceRecorder, load_trace, replay_trace
+
+__all__ = ["ExecutionContext", "SimArray", "TraceEvent", "TraceRecorder",
+           "load_trace", "replay_trace"]

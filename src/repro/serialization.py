@@ -1,0 +1,81 @@
+"""Configuration serialization: save/load ``SystemConfig`` as JSON.
+
+Experiment configurations should be artefacts: a run's exact system
+parameters can be checked in next to its results and reloaded later
+(the gem5-style "config dump"). Bytes fields (the encryption key) are
+hex-encoded; nested dataclasses round-trip field-by-field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .config import (CacheConfig, CounterCacheConfig, CPUConfig,
+                     EncryptionConfig, KernelConfig, NVMConfig, SystemConfig)
+from .errors import ConfigError
+
+_NESTED = {
+    "cpu": CPUConfig,
+    "l1": CacheConfig,
+    "l2": CacheConfig,
+    "l3": CacheConfig,
+    "l4": CacheConfig,
+    "nvm": NVMConfig,
+    "encryption": EncryptionConfig,
+    "counter_cache": CounterCacheConfig,
+    "kernel": KernelConfig,
+}
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
+    """Flatten a config to JSON-safe primitives."""
+    raw = dataclasses.asdict(config)
+
+    def clean(value):
+        if isinstance(value, bytes):
+            return {"__hex__": value.hex()}
+        if isinstance(value, dict):
+            return {key: clean(inner) for key, inner in value.items()}
+        return value
+
+    return clean(raw)
+
+
+def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
+    """Rebuild a config from :func:`config_to_dict` output."""
+    def revive(value):
+        if isinstance(value, dict) and set(value) == {"__hex__"}:
+            return bytes.fromhex(value["__hex__"])
+        return value
+
+    kwargs: Dict[str, Any] = {}
+    try:
+        for key, value in data.items():
+            if key in _NESTED:
+                nested_cls = _NESTED[key]
+                nested_kwargs = {inner_key: revive(inner_value)
+                                 for inner_key, inner_value in value.items()}
+                kwargs[key] = nested_cls(**nested_kwargs)
+            else:
+                kwargs[key] = revive(value)
+        return SystemConfig(**kwargs)
+    except TypeError as error:
+        raise ConfigError(f"malformed config document: {error}")
+
+
+def save_config(config: SystemConfig, path: Union[str, Path]) -> None:
+    """Write a config to a JSON file."""
+    Path(path).write_text(json.dumps(config_to_dict(config), indent=2,
+                                     sort_keys=True) + "\n")
+
+
+def load_config(path: Union[str, Path]) -> SystemConfig:
+    """Read a config from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigError(f"cannot load config from {path}: {error}")
+    return config_from_dict(data)

@@ -1,0 +1,89 @@
+"""Result records and baseline-vs-shredder comparisons.
+
+The paper's headline numbers are all *relative*: write savings
+(Fig. 8), read-traffic savings (Fig. 9), read-latency speedup
+(Fig. 10) and relative IPC (Fig. 11). :func:`compare_runs` derives all
+four from a pair of :class:`~repro.sim.system.SystemReport` objects
+produced by identical workloads on the baseline and Silent Shredder
+systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from .system import SystemReport
+
+
+@dataclass
+class RunResult:
+    """Baseline-vs-shredder comparison for one workload."""
+
+    workload: str
+    write_savings: float            # fraction of NVM data writes eliminated
+    read_savings: float             # fraction of NVM data reads eliminated
+    read_speedup: float             # baseline avg read latency / shredder's
+    relative_ipc: float             # shredder IPC / baseline IPC
+    baseline: SystemReport = None
+    shredder: SystemReport = None
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "workload": self.workload,
+            "write_savings_pct": 100.0 * self.write_savings,
+            "read_savings_pct": 100.0 * self.read_savings,
+            "read_speedup": self.read_speedup,
+            "relative_ipc": self.relative_ipc,
+        }
+
+
+def compare_runs(baseline: SystemReport, shredder: SystemReport,
+                 workload: str = "workload") -> RunResult:
+    """Derive the paper's four relative metrics from a run pair."""
+    if baseline.shredder:
+        raise SimulationError("first report must come from the baseline system")
+    if not shredder.shredder:
+        raise SimulationError("second report must come from Silent Shredder")
+
+    write_savings = 0.0
+    if baseline.memory_writes:
+        write_savings = ((baseline.memory_writes - shredder.memory_writes)
+                         / baseline.memory_writes)
+
+    # Read savings: reads the shredder served as zero-fill instead of NVM.
+    baseline_reads = baseline.memory_reads
+    read_savings = 0.0
+    if baseline_reads:
+        read_savings = ((baseline_reads - shredder.memory_reads)
+                        / baseline_reads)
+
+    read_speedup = 1.0
+    if shredder.avg_read_latency_ns > 0 and baseline.avg_read_latency_ns > 0:
+        read_speedup = (baseline.avg_read_latency_ns
+                        / shredder.avg_read_latency_ns)
+
+    relative_ipc = 1.0
+    if baseline.ipc > 0:
+        relative_ipc = shredder.ipc / baseline.ipc
+
+    return RunResult(workload=workload, write_savings=write_savings,
+                     read_savings=read_savings, read_speedup=read_speedup,
+                     relative_ipc=relative_ipc, baseline=baseline,
+                     shredder=shredder)
+
+
+def geometric_mean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise SimulationError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

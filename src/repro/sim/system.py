@@ -1,0 +1,237 @@
+"""System: machine + kernel + cores + cooperative task scheduler.
+
+The object workloads run against. Tasks are generator functions that
+perform work through an :class:`~repro.runtime.ExecutionContext` and
+``yield`` periodically; the scheduler always resumes the task whose
+core clock is furthest behind, which interleaves the cores' traffic
+through the shared caches and memory channels the way concurrent
+execution would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..config import SystemConfig, default_config
+from ..core.policies import ShredPolicy
+from ..cpu import Core
+from ..errors import SimulationError
+from ..kernel import Kernel
+from ..runtime import ExecutionContext
+from .machine import Machine
+
+#: A workload: takes a context, yields whenever it wants to be preempted.
+TaskFunction = Callable[[ExecutionContext], Iterator[None]]
+
+
+@dataclass
+class SystemReport:
+    """Summary of one simulation run (the raw material for every figure)."""
+
+    name: str
+    shredder: bool
+    instructions: int = 0
+    cycles: float = 0.0
+    ipc: float = 0.0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    zero_fill_reads: int = 0
+    counter_miss_rate: float = 0.0
+    avg_read_latency_ns: float = 0.0
+    shreds: int = 0
+    pages_zeroed: int = 0
+    zeroing_memory_writes: int = 0
+    fault_ns: float = 0.0
+    zeroing_ns: float = 0.0
+    read_energy_pj: float = 0.0
+    write_energy_pj: float = 0.0
+    bits_written: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        data = {k: v for k, v in self.__dict__.items() if k != "extra"}
+        data.update(self.extra)
+        return data
+
+
+class System:
+    """A complete simulated machine with an OS and CPU cores."""
+
+    def __init__(self, config: Optional[SystemConfig] = None, *,
+                 shredder: bool = True, policy: Optional[ShredPolicy] = None,
+                 name: str = "system") -> None:
+        self.config = config if config is not None else default_config()
+        self.name = name
+        self.machine = Machine(self.config, shredder=shredder, policy=policy)
+        self.kernel = Kernel(self.machine)
+        self.kernel.system = self      # for TLB shootdowns on munmap
+        self.cores = [Core(i, self.config.cpu)
+                      for i in range(self.config.cpu.num_cores)]
+        self.contexts: List[ExecutionContext] = []
+
+    @property
+    def shredder_enabled(self) -> bool:
+        return self.machine.has_shredder
+
+    # -- task plumbing -----------------------------------------------------------
+
+    def new_context(self, core_id: int) -> ExecutionContext:
+        """A fresh process bound to ``core_id``."""
+        if core_id < 0 or core_id >= len(self.cores):
+            raise SimulationError(f"no core {core_id}")
+        process = self.kernel.create_process()
+        ctx = ExecutionContext(self, process.pid, core_id)
+        self.contexts.append(ctx)
+        return ctx
+
+    def run(self, tasks: List[TaskFunction]) -> None:
+        """Run one task per core (round-robin by laggard core clock)."""
+        if len(tasks) > len(self.cores):
+            raise SimulationError(f"{len(tasks)} tasks but only "
+                                  f"{len(self.cores)} cores")
+        live: List[tuple] = []
+        for core_id, task in enumerate(tasks):
+            ctx = self.new_context(core_id)
+            live.append([self.cores[core_id], iter(task(ctx))])
+        while live:
+            # Resume the task whose core is furthest behind in time.
+            entry = min(live, key=lambda item: item[0].stats.cycles)
+            try:
+                next(entry[1])
+            except StopIteration:
+                entry[0].drain_stores()
+                live.remove(entry)
+
+    def run_single(self, task: TaskFunction, core_id: int = 0) -> None:
+        """Convenience: run one task to completion on one core."""
+        ctx = self.new_context(core_id)
+        for _ in task(ctx):
+            pass
+        self.cores[core_id].drain_stores()
+
+    # -- verification and statistics management -----------------------------------
+
+    def verify_invariants(self) -> None:
+        """Cross-component consistency sweep (cheap; used by tests and
+        long soak runs): MESI single-writer, L4 inclusion, counter
+        ranges, allocator accounting."""
+        self.machine.hierarchy.directory.check_invariants()
+        self.machine.hierarchy.check_inclusion()
+        controller = self.machine.controller
+        limit = (1 << self.config.encryption.minor_counter_bits) - 1
+        cache = controller.counter_cache
+        for address in cache._cache.resident_addresses():
+            line = cache._cache.peek(address)
+            counters = line.payload
+            if counters is None:
+                continue
+            for minor in counters.minors:
+                if minor < 0 or minor > limit:
+                    raise SimulationError(
+                        f"counter cache holds out-of-range minor {minor}")
+        allocator = self.kernel.allocator
+        if allocator.free_pages > allocator.total_pages:
+            raise SimulationError("allocator free count exceeds pool size")
+
+    def reset_stats(self) -> None:
+        """Zero every statistic without touching architectural state —
+        the warm-up methodology of section 5 (caches stay warm, the
+        measured window starts clean)."""
+        from ..cache.cache import CacheStats
+        from ..core.secure_memory import SecureMemoryStats
+        from ..kernel.kernel import KernelStats
+        from ..kernel.zeroing import ZeroingStats
+        from ..mem.stats import MemoryStats
+        machine = self.machine
+        machine.controller.stats = SecureMemoryStats()
+        machine.controller.device.stats = MemoryStats()
+        machine.controller.mem.stats = MemoryStats()
+        machine.controller.mem.channels.reset()
+        for cache in [machine.hierarchy.l3, machine.hierarchy.l4,
+                      *machine.hierarchy.l1, *machine.hierarchy.l2]:
+            cache.stats = CacheStats()
+        machine.controller.counter_cache._cache.stats = CacheStats()
+        machine.hierarchy.zero_fills = 0
+        machine.hierarchy.memory_fetches = 0
+        machine.hierarchy.writebacks = 0
+        self.kernel.stats = KernelStats()
+        self.kernel.zeroing.stats = ZeroingStats()
+        for core in self.cores:
+            from ..cpu.core import CoreStats
+            preserved = core.stats.cycles    # time keeps flowing
+            core.stats = CoreStats()
+            core.stats.cycles = preserved
+
+    def dump_stats(self) -> str:
+        """A gem5-style multi-section statistics dump."""
+        from ..analysis.report import render_table
+        report = self.report()
+        sections = [f"---------- {self.name} ----------"]
+        sections.append(render_table(
+            [report.as_dict()], columns=["instructions", "cycles", "ipc"],
+            title="[cpu]"))
+        sections.append(render_table(
+            [{"level": cache.name, "accesses": cache.stats.accesses,
+              "miss_rate": cache.stats.miss_rate,
+              "evictions": cache.stats.evictions}
+             for cache in [self.machine.hierarchy.l1[0],
+                           self.machine.hierarchy.l2[0],
+                           self.machine.hierarchy.l3,
+                           self.machine.hierarchy.l4]],
+            title="[caches, core 0 private + shared]"))
+        ctl = self.machine.controller.stats
+        sections.append(render_table([{
+            "data_reads": ctl.data_reads, "data_writes": ctl.data_writes,
+            "zero_fill_reads": ctl.zero_fill_reads, "shreds": ctl.shreds,
+            "counter_miss_rate": ctl.counter_miss_rate,
+            "reencryptions": ctl.reencryptions,
+        }], title="[secure memory controller]"))
+        dev = self.machine.controller.device
+        sections.append(render_table([{
+            "line_writes": dev.total_line_writes(),
+            "max_wear": dev.max_wear(),
+            "read_energy_uJ": dev.stats.read_energy_pj / 1e6,
+            "write_energy_uJ": dev.stats.write_energy_pj / 1e6,
+        }], title="[nvm device]"))
+        zs = self.kernel.stats
+        sections.append(render_table([{
+            "minor_faults": zs.minor_faults, "cow_faults": zs.cow_faults,
+            "pages_recycled": zs.pages_recycled,
+            "zeroing_share": zs.zeroing_fraction_of_fault_time,
+        }], title="[kernel]"))
+        return "\n\n".join(sections)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def report(self) -> SystemReport:
+        instructions = sum(core.stats.instructions for core in self.cores)
+        busy_cores = [core for core in self.cores if core.stats.cycles > 0]
+        cycles = max((core.stats.cycles for core in busy_cores), default=0.0)
+        ctl = self.machine.controller.stats
+        dev = self.machine.controller.device.stats
+        zs = self.kernel.zeroing.stats
+        report = SystemReport(
+            name=self.name,
+            shredder=self.shredder_enabled,
+            instructions=instructions,
+            cycles=cycles,
+            ipc=instructions / cycles if cycles else 0.0,
+            memory_reads=ctl.data_reads,
+            memory_writes=ctl.data_writes,
+            zero_fill_reads=ctl.zero_fill_reads,
+            counter_miss_rate=ctl.counter_miss_rate,
+            avg_read_latency_ns=ctl.avg_read_latency_ns,
+            shreds=ctl.shreds,
+            pages_zeroed=zs.pages_zeroed,
+            zeroing_memory_writes=zs.memory_writes,
+            fault_ns=self.kernel.stats.fault_ns,
+            zeroing_ns=self.kernel.stats.zeroing_ns,
+            read_energy_pj=dev.read_energy_pj,
+            write_energy_pj=dev.write_energy_pj,
+            bits_written=dev.bits_written,
+        )
+        report.extra["l4_miss_rate"] = self.machine.hierarchy.l4.stats.miss_rate
+        report.extra["counter_cache_entries"] = float(
+            len(self.machine.controller.counter_cache))
+        return report

@@ -1,0 +1,67 @@
+"""Server process-churn workload (section 6.1's loaded-server scenario).
+
+"In a system that is highly loaded, data shredding will occur
+frequently because the high load from multiple workloads [is] placing
+a high pressure on the physical memory... A highly loaded system will
+suffer from a high rate of page faults, and page fault latency is
+critical in this situation."
+
+This workload models a request-serving process pool: short-lived
+workers spawn, touch a working set (every page allocation shreds a
+recycled page), do a burst of request processing, release their memory
+(``munmap``), and exit. Page recycling pressure — the shredding rate —
+scales with the churn rate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..runtime import ExecutionContext
+
+
+@dataclass(frozen=True)
+class ChurnParams:
+    """Knobs of the churn generator."""
+
+    workers: int = 40               # short-lived workers, sequential
+    pages_per_worker: int = 12      # working set each allocates
+    requests_per_worker: int = 60   # memory ops after setup
+    compute_per_request: int = 120
+    seed: int = 99
+
+
+def churn_task(params: ChurnParams):
+    """One core's worth of process churn.
+
+    Workers reuse the *same* context/process (spawning real processes
+    per worker would skew the comparison with bookkeeping); memory
+    pressure comes from ``munmap`` returning every worker's pages to
+    the pool, so the next worker's faults land on recycled frames.
+    """
+
+    def task(ctx: ExecutionContext) -> Iterator[None]:
+        rng = random.Random(params.seed + ctx.core_id)
+        page_size = ctx.page_size
+        for worker in range(params.workers):
+            region = ctx.kernel.mmap(ctx.pid,
+                                     params.pages_per_worker * page_size)
+            # Worker start-up: first-touch the whole working set.
+            for page in range(params.pages_per_worker):
+                ctx.touch(region.start + page * page_size, write=True)
+                ctx.compute(40)
+            # Serve requests against the working set.
+            for _ in range(params.requests_per_worker):
+                page = rng.randrange(params.pages_per_worker)
+                offset = rng.randrange(page_size // 64) * 64
+                address = region.start + page * page_size + offset
+                ctx.touch(address, write=rng.random() < 0.3)
+                ctx.compute(params.compute_per_request)
+            # Worker exit: release the working set for the next one.
+            ctx.kernel.munmap(ctx.pid, region)
+            ctx.compute(200)
+            yield
+
+    return task

@@ -1,0 +1,39 @@
+"""Multi-programmed workload mixes (section 5).
+
+The paper runs one instance of each SPEC benchmark per core. The mix
+builder replicates a benchmark model across the system's cores with
+decorrelated seeds, or combines different benchmarks into one mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence
+
+from ..errors import SimulationError
+from .spec import SPEC_BENCHMARKS, spec_task
+
+
+def multiprogrammed_tasks(benchmark: str, num_cores: int, *,
+                          scale: float = 1.0) -> List:
+    """One instance of ``benchmark`` per core, with distinct seeds."""
+    params = SPEC_BENCHMARKS.get(benchmark)
+    if params is None:
+        raise SimulationError(f"unknown SPEC benchmark {benchmark!r}")
+    tasks = []
+    for core in range(num_cores):
+        instance = replace(params.scaled(scale), seed=params.seed + 1000 * core)
+        tasks.append(spec_task(instance))
+    return tasks
+
+
+def heterogeneous_mix(benchmarks: Sequence[str], *, scale: float = 1.0) -> List:
+    """A mix of different benchmarks, one per core slot, in order."""
+    tasks = []
+    for index, name in enumerate(benchmarks):
+        params = SPEC_BENCHMARKS.get(name)
+        if params is None:
+            raise SimulationError(f"unknown SPEC benchmark {name!r}")
+        instance = replace(params.scaled(scale), seed=params.seed + 1000 * index)
+        tasks.append(spec_task(instance))
+    return tasks

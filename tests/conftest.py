@@ -1,0 +1,60 @@
+"""Shared fixtures: scaled-down configurations and system factories."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (CacheConfig, CounterCacheConfig, CPUConfig, KB, MB,
+                          NVMConfig, SystemConfig, fast_config)
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """A very small functional system: quick, still structurally faithful
+    (4 cache levels, 64 B blocks, 4 KB pages, 64+1 counters per page)."""
+    return SystemConfig(
+        cpu=CPUConfig(num_cores=2),
+        l1=CacheConfig("L1", size_bytes=4 * KB, associativity=2, latency_cycles=2),
+        l2=CacheConfig("L2", size_bytes=8 * KB, associativity=2, latency_cycles=8),
+        l3=CacheConfig("L3", size_bytes=16 * KB, associativity=4,
+                       latency_cycles=25, shared=True),
+        l4=CacheConfig("L4", size_bytes=64 * KB, associativity=8,
+                       latency_cycles=35, shared=True),
+        nvm=NVMConfig(capacity_bytes=4 * MB),
+        counter_cache=CounterCacheConfig(size_bytes=8 * KB),
+        functional=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_config_factory():
+    """Session-scoped factory (safe for hypothesis-driven tests, which
+    reuse fixtures across examples): returns a fresh immutable config."""
+    def make() -> SystemConfig:
+        return SystemConfig(
+            cpu=CPUConfig(num_cores=2),
+            l1=CacheConfig("L1", size_bytes=4 * KB, associativity=2,
+                           latency_cycles=2),
+            l2=CacheConfig("L2", size_bytes=8 * KB, associativity=2,
+                           latency_cycles=8),
+            l3=CacheConfig("L3", size_bytes=16 * KB, associativity=4,
+                           latency_cycles=25, shared=True),
+            l4=CacheConfig("L4", size_bytes=64 * KB, associativity=8,
+                           latency_cycles=35, shared=True),
+            nvm=NVMConfig(capacity_bytes=4 * MB),
+            counter_cache=CounterCacheConfig(size_bytes=8 * KB),
+            functional=True,
+        )
+    return make
+
+
+@pytest.fixture
+def fast_functional() -> SystemConfig:
+    return fast_config()
+
+
+@pytest.fixture
+def timing_config(tiny_config) -> SystemConfig:
+    return replace(tiny_config, functional=False)

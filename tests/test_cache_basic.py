@@ -1,0 +1,163 @@
+"""Set-associative cache mechanics and replacement policies."""
+
+import pytest
+
+from repro.cache import (FIFOPolicy, LRUPolicy, RandomPolicy,
+                         SetAssociativeCache, make_replacement)
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+
+
+def small_cache(assoc=2, sets=4, policy="lru"):
+    config = CacheConfig("T", size_bytes=64 * assoc * sets,
+                         associativity=assoc, latency_cycles=1,
+                         replacement=policy)
+    return SetAssociativeCache(config)
+
+
+def addr(set_index, tag, sets=4):
+    """A block address mapping to (set_index) with distinct tag."""
+    return (tag * sets + set_index) * 64
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(0) is None
+        cache.fill(0)
+        assert cache.lookup(0) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_contains(self):
+        cache = small_cache()
+        cache.fill(128)
+        assert cache.contains(128)
+        assert not cache.contains(64)
+
+    def test_block_alignment_internal(self):
+        cache = small_cache()
+        cache.fill(0)
+        # Any address within the block maps to the same line.
+        assert cache.lookup(63) is not None
+
+    def test_payload_stored(self):
+        cache = small_cache()
+        cache.fill(0, payload=b"hello")
+        assert cache.lookup(0).payload == b"hello"
+
+    def test_refill_updates_payload(self):
+        cache = small_cache()
+        cache.fill(0, payload=b"a")
+        cache.fill(0, payload=b"b")
+        assert cache.peek(0).payload == b"b"
+
+    def test_refill_keeps_dirty(self):
+        cache = small_cache()
+        cache.fill(0, dirty=True)
+        cache.fill(0, dirty=False)
+        assert cache.peek(0).dirty
+
+
+class TestEviction:
+    def test_eviction_on_conflict(self):
+        cache = small_cache(assoc=2, sets=4)
+        a, b, c = addr(0, 0), addr(0, 1), addr(0, 2)
+        cache.fill(a)
+        cache.fill(b)
+        evicted = cache.fill(c)
+        assert evicted is not None
+        assert evicted.address == a        # LRU victim
+        assert not cache.contains(a)
+
+    def test_lru_order_respects_hits(self):
+        cache = small_cache(assoc=2, sets=4)
+        a, b, c = addr(0, 0), addr(0, 1), addr(0, 2)
+        cache.fill(a)
+        cache.fill(b)
+        cache.lookup(a)                    # a becomes MRU
+        evicted = cache.fill(c)
+        assert evicted.address == b
+
+    def test_dirty_eviction_flagged(self):
+        cache = small_cache(assoc=1, sets=4)
+        cache.fill(addr(0, 0), dirty=True)
+        evicted = cache.fill(addr(0, 1))
+        assert evicted.dirty
+        assert cache.stats.dirty_evictions == 1
+
+    def test_no_cross_set_interference(self):
+        cache = small_cache(assoc=1, sets=4)
+        cache.fill(addr(0, 0))
+        cache.fill(addr(1, 0))
+        assert cache.contains(addr(0, 0))
+        assert cache.contains(addr(1, 0))
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        cache = small_cache()
+        cache.fill(0, dirty=True)
+        evicted = cache.invalidate(0)
+        assert evicted.dirty
+        assert not cache.contains(0)
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_absent(self):
+        cache = small_cache()
+        assert cache.invalidate(0) is None
+
+    def test_invalidate_range(self):
+        cache = small_cache(assoc=8, sets=8)
+        for i in range(8):
+            cache.fill(i * 64)
+        evicted = cache.invalidate_range(0, 4 * 64)
+        assert len(evicted) == 4
+        assert len(cache) == 4
+
+    def test_flush_all_returns_dirty(self):
+        cache = small_cache(assoc=8, sets=8)
+        cache.fill(0, dirty=True)
+        cache.fill(64, dirty=False)
+        dirty = cache.flush_all()
+        assert [e.address for e in dirty] == [0]
+        assert len(cache) == 0
+
+    def test_way_reusable_after_invalidate(self):
+        cache = small_cache(assoc=1, sets=4)
+        cache.fill(addr(0, 0))
+        cache.invalidate(addr(0, 0))
+        assert cache.fill(addr(0, 1)) is None   # no eviction needed
+
+
+class TestReplacementPolicies:
+    def test_fifo_ignores_hits(self):
+        cache = small_cache(assoc=2, sets=4, policy="fifo")
+        a, b, c = addr(0, 0), addr(0, 1), addr(0, 2)
+        cache.fill(a)
+        cache.fill(b)
+        cache.lookup(a)                    # hit must not refresh FIFO order
+        evicted = cache.fill(c)
+        assert evicted.address == a
+
+    def test_random_is_seeded(self):
+        a = RandomPolicy(seed=7)
+        b = RandomPolicy(seed=7)
+        choices_a = [a.victim(0, list(range(8))) for _ in range(20)]
+        choices_b = [b.victim(0, list(range(8))) for _ in range(20)]
+        assert choices_a == choices_b
+
+    def test_factory(self):
+        assert isinstance(make_replacement("lru"), LRUPolicy)
+        assert isinstance(make_replacement("fifo"), FIFOPolicy)
+        assert isinstance(make_replacement("random"), RandomPolicy)
+        with pytest.raises(ConfigError):
+            make_replacement("plru")
+
+    def test_stats_rates(self):
+        cache = small_cache()
+        cache.lookup(0)
+        cache.fill(0)
+        cache.lookup(0)
+        assert cache.stats.hit_rate == 0.5
+        assert cache.stats.miss_rate == 0.5

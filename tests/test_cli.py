@@ -1,0 +1,80 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestDescribe:
+    def test_scaled(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "L4 Cache" in out
+        assert "Counter Cache" in out
+
+    def test_full(self, capsys):
+        assert main(["describe", "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "8 cores" in out
+        assert "16 GB" in out
+
+
+class TestList:
+    def test_lists_workloads(self, capsys):
+        assert main(["list-benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "GCC" in out and "PAGERANK" in out
+        assert out.count("\n") >= 29
+
+
+class TestCompare:
+    def test_spec(self, capsys):
+        assert main(["compare", "--benchmark", "HMMER",
+                     "--scale", "0.15", "--cores", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "HMMER" in out
+        assert "write_savings_pct" in out
+
+    def test_powergraph(self, capsys):
+        assert main(["compare", "--benchmark", "kcore",
+                     "--nodes", "200"]) == 0
+        assert "KCORE" in capsys.readouterr().out
+
+    def test_unknown(self, capsys):
+        assert main(["compare", "--benchmark", "NOPE"]) == 2
+
+
+class TestFigure:
+    def test_policies(self, capsys):
+        assert main(["figure", "policies"]) == 0
+        out = capsys.readouterr().out
+        assert "major-reset-minors" in out
+
+    def test_fig8_subset_runs(self, capsys):
+        # Tiny scale so the CLI path stays fast in CI.
+        assert main(["figure", "fig12", "--scale", "0.1"]) == 0
+        assert "miss_rate" in capsys.readouterr().out
+
+
+class TestExportConfig:
+    def test_export_and_reload(self, tmp_path, capsys):
+        from repro.serialization import load_config
+        from repro.config import bench_config
+        path = tmp_path / "cfg.json"
+        assert main(["export-config", str(path)]) == 0
+        assert load_config(path) == bench_config()
+
+    def test_figure_csv_flag(self, tmp_path, capsys):
+        path = tmp_path / "rows.csv"
+        assert main(["figure", "policies", "--csv", str(path)]) == 0
+        assert path.read_text().startswith("policy,")

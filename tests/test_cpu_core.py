@@ -1,0 +1,82 @@
+"""The in-order core timing model."""
+
+import pytest
+
+from repro.config import CPUConfig
+from repro.cpu import Core
+
+
+@pytest.fixture
+def core():
+    return Core(0, CPUConfig(num_cores=1, clock_ghz=2.0,
+                             store_buffer_entries=4))
+
+
+class TestCompute:
+    def test_one_cycle_per_instruction(self, core):
+        core.compute(100)
+        assert core.stats.instructions == 100
+        assert core.stats.cycles == 100
+        assert core.stats.ipc == 1.0
+
+    def test_zero_or_negative_noop(self, core):
+        core.compute(0)
+        core.compute(-5)
+        assert core.stats.instructions == 0
+
+    def test_base_cpi_scales(self):
+        core = Core(0, CPUConfig(num_cores=1, base_cpi=2.0))
+        core.compute(10)
+        assert core.stats.cycles == 20
+
+
+class TestLoads:
+    def test_load_stalls_full_latency(self, core):
+        core.load(150)
+        assert core.stats.loads == 1
+        assert core.stats.cycles == pytest.approx(151)  # cpi + stall
+        assert core.stats.load_stall_cycles == 150
+
+    def test_ipc_degrades_with_memory(self, core):
+        core.compute(100)
+        core.load(100)
+        assert core.stats.ipc < 1.0
+
+
+class TestStoreBuffer:
+    def test_store_does_not_stall_when_buffer_free(self, core):
+        core.store(300)
+        assert core.stats.cycles == pytest.approx(1.0)
+        assert core.stats.store_stall_cycles == 0
+
+    def test_full_buffer_stalls(self, core):
+        for _ in range(5):           # capacity is 4
+            core.store(10_000)
+        assert core.stats.store_stall_cycles > 0
+
+    def test_completed_stores_drain(self, core):
+        core.store(2)                 # completes almost immediately
+        core.compute(100)             # time passes
+        for _ in range(4):
+            core.store(2)
+        # The early store has retired; no stall needed for the 4 later ones.
+        assert core.stats.store_stall_cycles == 0
+
+    def test_drain_stores_waits(self, core):
+        core.store(1000)
+        before = core.stats.cycles
+        core.drain_stores()
+        assert core.stats.cycles > before
+        core.drain_stores()           # idempotent
+        assert core.stats.store_stall_cycles > 0
+
+
+class TestStall:
+    def test_fault_stall_accounted(self, core):
+        core.stall(500, fault=True)
+        assert core.stats.fault_cycles == 500
+        assert core.stats.instructions == 0
+
+    def test_now_ns_follows_clock(self, core):
+        core.compute(200)             # 200 cycles @ 2 GHz = 100 ns
+        assert core.now_ns == pytest.approx(100.0)

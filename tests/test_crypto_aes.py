@@ -1,0 +1,89 @@
+"""AES-128 correctness: FIPS-197 vectors, round-trips, diffusion."""
+
+import pytest
+
+from repro.crypto import AES128
+from repro.crypto.aes import SBOX, INV_SBOX, _gf_mul, _xtime
+from repro.errors import CipherError
+
+
+class TestKnownVectors:
+    def test_fips197_appendix_c(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_nist_sp800_38a_ecb(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_decrypt(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert AES128(key).decrypt_block(ciphertext) == expected
+
+
+class TestSBox:
+    def test_sbox_known_entries(self):
+        # A handful of entries from the FIPS-197 table.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+
+class TestFieldArithmetic:
+    def test_xtime(self):
+        assert _xtime(0x57) == 0xAE
+        assert _xtime(0xAE) == 0x47      # overflow path (mod 0x11b)
+
+    def test_gf_mul_known(self):
+        assert _gf_mul(0x57, 0x13) == 0xFE   # FIPS-197 example
+        assert _gf_mul(0x01, 0xAB) == 0xAB
+        assert _gf_mul(0x00, 0xAB) == 0x00
+
+
+class TestRoundTrips:
+    def test_roundtrip_many_blocks(self):
+        cipher = AES128(b"0123456789abcdef")
+        for i in range(32):
+            block = bytes((i * 17 + j * 31) % 256 for j in range(16))
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_different_keys_differ(self):
+        block = bytes(range(16))
+        a = AES128(b"A" * 16).encrypt_block(block)
+        b = AES128(b"B" * 16).encrypt_block(block)
+        assert a != b
+
+    def test_diffusion_single_bit(self):
+        cipher = AES128(b"0123456789abcdef")
+        base = cipher.encrypt_block(bytes(16))
+        flipped = cipher.encrypt_block(bytes([1] + [0] * 15))
+        differing = sum(bin(x ^ y).count("1") for x, y in zip(base, flipped))
+        assert differing >= 40    # ~half of 128 bits should flip
+
+
+class TestErrors:
+    def test_bad_key_length(self):
+        with pytest.raises(CipherError):
+            AES128(b"short")
+
+    def test_bad_block_length_encrypt(self):
+        with pytest.raises(CipherError):
+            AES128(b"0123456789abcdef").encrypt_block(b"tiny")
+
+    def test_bad_block_length_decrypt(self):
+        with pytest.raises(CipherError):
+            AES128(b"0123456789abcdef").decrypt_block(b"x" * 17)

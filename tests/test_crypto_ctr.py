@@ -1,0 +1,118 @@
+"""Counter-mode engine and the fast ciphers."""
+
+import pytest
+
+from repro.crypto import (AES128, CounterModeEngine, NullCipher,
+                          XorShiftCipher, make_cipher, xor_bytes)
+from repro.errors import CipherError
+
+
+def make_iv(value: int) -> bytes:
+    """A 16-byte IV whose final padding byte is zero."""
+    return (value << 8).to_bytes(16, "big")
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_identity(self):
+        data = bytes(range(64))
+        assert xor_bytes(data, bytes(64)) == data
+
+    def test_self_inverse(self):
+        a, b = bytes(range(32)), bytes(range(100, 132))
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch(self):
+        with pytest.raises(CipherError):
+            xor_bytes(b"ab", b"abc")
+
+
+class TestXorShiftCipher:
+    def test_deterministic(self):
+        cipher = XorShiftCipher(b"k" * 16)
+        block = bytes(range(16))
+        assert cipher.encrypt_block(block) == cipher.encrypt_block(block)
+
+    def test_key_sensitivity(self):
+        block = bytes(range(16))
+        assert XorShiftCipher(b"a" * 16).encrypt_block(block) != \
+            XorShiftCipher(b"b" * 16).encrypt_block(block)
+
+    def test_diffusion(self):
+        cipher = XorShiftCipher(b"k" * 16)
+        base = cipher.encrypt_block(bytes(16))
+        flipped = cipher.encrypt_block(bytes([1] + [0] * 15))
+        differing = sum(bin(x ^ y).count("1") for x, y in zip(base, flipped))
+        assert differing >= 32
+
+    def test_decrypt_unsupported(self):
+        with pytest.raises(CipherError):
+            XorShiftCipher(b"k" * 16).decrypt_block(bytes(16))
+
+    def test_bad_key(self):
+        with pytest.raises(CipherError):
+            XorShiftCipher(b"short")
+
+
+class TestMakeCipher:
+    @pytest.mark.parametrize("name,cls", [
+        ("aes", AES128), ("xorshift", XorShiftCipher), ("null", NullCipher)])
+    def test_factory(self, name, cls):
+        assert isinstance(make_cipher(name, b"0" * 16), cls)
+
+    def test_unknown(self):
+        with pytest.raises(CipherError):
+            make_cipher("rot13", b"0" * 16)
+
+
+class TestCounterModeEngine:
+    @pytest.fixture
+    def engine(self):
+        return CounterModeEngine(XorShiftCipher(b"silent-shredder!"), 64)
+
+    def test_roundtrip(self, engine):
+        data = bytes(range(64))
+        iv = make_iv(42)
+        assert engine.decrypt(engine.encrypt(data, iv), iv) == data
+
+    def test_different_iv_garbles(self, engine):
+        data = bytes(range(64))
+        ciphertext = engine.encrypt(data, make_iv(1))
+        wrong = engine.decrypt(ciphertext, make_iv(2))
+        assert wrong != data
+
+    def test_pad_segments_differ(self, engine):
+        pad = engine.pad_for_iv(make_iv(7))
+        segments = [pad[i:i + 16] for i in range(0, 64, 16)]
+        assert len(set(segments)) == 4
+
+    def test_same_iv_same_pad(self, engine):
+        assert engine.pad_for_iv(make_iv(3)) == engine.pad_for_iv(make_iv(3))
+
+    def test_pad_counter_increments(self, engine):
+        before = engine.pads_generated
+        engine.pad_for_iv(make_iv(9))
+        assert engine.pads_generated == before + 1
+
+    def test_nonzero_padding_rejected(self, engine):
+        bad_iv = bytes(15) + b"\x01"
+        with pytest.raises(CipherError):
+            engine.pad_for_iv(bad_iv)
+
+    def test_wrong_block_size(self, engine):
+        with pytest.raises(CipherError):
+            engine.encrypt(bytes(32), make_iv(1))
+
+    def test_aes_engine_roundtrip(self):
+        engine = CounterModeEngine(AES128(b"silent-shredder!"), 64)
+        data = bytes((i * 37) % 256 for i in range(64))
+        iv = make_iv(123456)
+        ciphertext = engine.encrypt(data, iv)
+        assert ciphertext != data
+        assert engine.decrypt(ciphertext, iv) == data
+
+    def test_block_size_must_divide(self):
+        with pytest.raises(CipherError):
+            CounterModeEngine(XorShiftCipher(b"k" * 16), block_size=40)

@@ -1,0 +1,47 @@
+"""The example scripts: importable, and the fast ones run end to end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleCatalogue:
+    def test_at_least_seven_examples(self):
+        assert len(ALL_EXAMPLES) >= 7
+        assert "quickstart" in ALL_EXAMPLES
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_importable_with_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), \
+            f"{name}.py must expose main()"
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_has_module_docstring(self, name):
+        module = load_example(name)
+        assert module.__doc__ and len(module.__doc__) > 80
+
+
+class TestFastExamplesRun:
+    """The examples with second-scale runtimes execute fully (they
+    contain their own assertions)."""
+
+    @pytest.mark.parametrize("name", ["attack_demo", "kv_store",
+                                      "persistent_heap", "vm_isolation"])
+    def test_runs_clean(self, name, capsys):
+        load_example(name).main()
+        out = capsys.readouterr().out
+        assert out.strip(), f"{name} should narrate its steps"

@@ -1,0 +1,180 @@
+"""Huge pages (section 5) and the TLB model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import CPUConfig, KernelConfig
+from repro.cpu import TLB
+from repro.errors import OutOfMemoryError
+from repro.kernel import PhysicalPageAllocator
+from repro.sim import System
+
+HUGE = 16 * 4096      # a small "huge page" for tests: 16 base pages
+
+
+@pytest.fixture
+def huge_config(tiny_config):
+    return replace(
+        tiny_config.with_zeroing("shred"),
+        kernel=replace(tiny_config.kernel, zeroing_strategy="shred",
+                       huge_page_size=HUGE))
+
+
+@pytest.fixture
+def tlb_config(huge_config):
+    return replace(huge_config,
+                   cpu=replace(huge_config.cpu, tlb_entries=8,
+                               tlb_miss_penalty_cycles=50))
+
+
+class TestContiguousAllocation:
+    def test_contiguous_run(self):
+        allocator = PhysicalPageAllocator.over_range(1, 32)
+        pages = allocator.allocate_contiguous(8)
+        assert pages == list(range(pages[0], pages[0] + 8))
+
+    def test_fragmentation_fails(self):
+        allocator = PhysicalPageAllocator.over_range(1, 8)
+        # Punch holes: allocate everything, free every other page.
+        taken = [allocator.allocate() for _ in range(8)]
+        for page in taken[::2]:
+            allocator.free(page)
+        with pytest.raises(OutOfMemoryError):
+            allocator.allocate_contiguous(3)
+
+    def test_single_page_fast_path(self):
+        allocator = PhysicalPageAllocator.over_range(1, 4)
+        assert len(allocator.allocate_contiguous(1)) == 1
+
+
+class TestHugePageFaults:
+    def test_one_fault_populates_whole_unit(self, huge_config):
+        system = System(huge_config, shredder=True)
+        ctx = system.new_context(0)
+        region = system.kernel.mmap(ctx.pid, HUGE, huge=True)
+        assert region.huge
+        assert region.start % HUGE == 0
+        ctx.touch(region.start, write=True)
+        assert system.kernel.stats.huge_faults == 1
+        # Every base page of the unit is mapped without further faults.
+        faults_before = system.kernel.stats.cow_faults
+        for page in range(16):
+            ctx.touch(region.start + page * 4096, write=True)
+        assert system.kernel.stats.cow_faults == faults_before
+
+    def test_huge_unit_physically_contiguous(self, huge_config):
+        system = System(huge_config, shredder=True)
+        ctx = system.new_context(0)
+        region = system.kernel.mmap(ctx.pid, HUGE, huge=True)
+        ctx.touch(region.start, write=True)
+        physicals = [system.kernel.translate(ctx.pid,
+                                             region.start + i * 4096,
+                                             write=True).physical
+                     for i in range(16)]
+        deltas = {b - a for a, b in zip(physicals, physicals[1:])}
+        assert deltas == {4096}
+
+    def test_huge_fault_shreds_every_subpage(self, huge_config):
+        """clear_huge_page == one clear_page (shred) per 4 KB, as the
+        paper states: no extra hardware needed."""
+        system = System(huge_config, shredder=True)
+        ctx = system.new_context(0)
+        region = system.kernel.mmap(ctx.pid, HUGE, huge=True)
+        shreds_before = system.machine.controller.stats.shreds
+        writes_before = system.machine.controller.stats.data_writes
+        ctx.touch(region.start, write=True)
+        assert system.machine.controller.stats.shreds == shreds_before + 16
+        assert system.machine.controller.stats.data_writes == writes_before
+
+    def test_huge_region_reads_zero(self, huge_config):
+        system = System(huge_config, shredder=True)
+        ctx = system.new_context(0)
+        region = system.kernel.mmap(ctx.pid, HUGE, huge=True)
+        ctx.touch(region.start, write=True)
+        for page in range(0, 16, 3):
+            assert ctx.read_bytes(region.start + page * 4096, 64) == bytes(64)
+
+
+class TestTLBUnit:
+    def test_hit_after_insert(self):
+        tlb = TLB(4, 4096)
+        tlb.insert(10, 99, writable=True)
+        assert tlb.lookup(10, write=True) == 99
+        assert tlb.stats.hits == 1
+
+    def test_miss_unknown(self):
+        tlb = TLB(4, 4096)
+        assert tlb.lookup(5, write=False) is None
+        assert tlb.stats.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = TLB(2, 4096)
+        tlb.insert(1, 11, writable=True)
+        tlb.insert(2, 22, writable=True)
+        tlb.lookup(1, write=False)           # 1 becomes MRU
+        tlb.insert(3, 33, writable=True)     # evicts 2
+        assert tlb.lookup(2, write=False) is None
+        assert tlb.lookup(1, write=False) == 11
+
+    def test_write_to_readonly_is_miss(self):
+        tlb = TLB(4, 4096)
+        tlb.insert(7, 70, writable=False)
+        assert tlb.lookup(7, write=False) == 70
+        assert tlb.lookup(7, write=True) is None
+
+    def test_huge_entry_covers_span(self):
+        tlb = TLB(4, 4096, huge_span=16)
+        tlb.insert(35, 135, writable=True, huge=True)   # unit base vpn 32
+        for vpn in range(32, 48):
+            assert tlb.lookup(vpn, write=True) == 100 + vpn
+        assert tlb.lookup(48, write=True) is None
+
+    def test_invalidate(self):
+        tlb = TLB(4, 4096, huge_span=16)
+        tlb.insert(3, 30, writable=True)
+        tlb.invalidate(3)
+        assert tlb.lookup(3, write=False) is None
+
+    def test_flush(self):
+        tlb = TLB(4, 4096)
+        tlb.insert(1, 10, writable=True)
+        tlb.flush()
+        assert len(tlb) == 0
+
+
+class TestTLBIntegration:
+    def test_tlb_reduces_translation_cost(self, tlb_config):
+        system = System(tlb_config, shredder=True)
+        ctx = system.new_context(0)
+        assert ctx.tlb is not None
+        base = ctx.malloc(4096)
+        ctx.touch(base, write=True)           # miss + fault + insert
+        misses = ctx.tlb.stats.misses
+        for _ in range(10):
+            ctx.touch(base, write=True)       # all TLB hits
+        assert ctx.tlb.stats.misses == misses
+        assert ctx.tlb.stats.hits >= 10
+
+    def test_huge_pages_extend_tlb_reach(self, tlb_config):
+        """One huge entry covers what would need 16 base entries —
+        the translation argument of sections 1/7.2."""
+        def miss_rate(huge):
+            system = System(tlb_config, shredder=True)
+            ctx = system.new_context(0)
+            region = system.kernel.mmap(ctx.pid, 4 * HUGE, huge=huge)
+            # Strided sweep touching every base page, twice.
+            for _ in range(2):
+                for page in range(4 * HUGE // 4096):
+                    ctx.touch(region.start + page * 4096, write=True)
+            return ctx.tlb.stats.miss_rate
+
+        assert miss_rate(huge=True) < miss_rate(huge=False)
+
+    def test_cow_still_works_with_tlb(self, tlb_config):
+        system = System(tlb_config, shredder=True)
+        ctx = system.new_context(0)
+        base = ctx.malloc(4096)
+        assert ctx.load_u64(base) == 0        # zero-page entry cached RO
+        ctx.store_u64(base, 42)               # must COW despite the TLB
+        assert ctx.load_u64(base) == 42

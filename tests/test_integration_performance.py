@@ -1,0 +1,91 @@
+"""End-to-end performance integration: the paper's headline directions.
+
+Small-scale versions of the Figure 8-11 comparisons that assert the
+*directions and rough magnitudes* the paper reports, so regressions in
+any layer (kernel, caches, controller, CPU model) show up here.
+"""
+
+import pytest
+
+from repro.analysis import run_pair
+from repro.config import bench_config
+from repro.workloads import multiprogrammed_tasks, powergraph_task
+
+
+@pytest.fixture(scope="module")
+def gcc_pair():
+    return run_pair("GCC", lambda: multiprogrammed_tasks("GCC", 2, scale=0.4),
+                    bench_config())
+
+
+@pytest.fixture(scope="module")
+def h264_pair():
+    return run_pair("H264", lambda: multiprogrammed_tasks("H264", 2, scale=0.4),
+                    bench_config())
+
+
+class TestWriteSavings:
+    def test_writes_reduced(self, gcc_pair):
+        assert gcc_pair.shredder.memory_writes < gcc_pair.baseline.memory_writes
+
+    def test_savings_in_plausible_band(self, gcc_pair):
+        assert 0.2 < gcc_pair.write_savings < 0.95
+
+    def test_write_light_saves_more(self, gcc_pair, h264_pair):
+        assert h264_pair.write_savings > gcc_pair.write_savings
+
+    def test_zeroing_writes_fully_eliminated(self, gcc_pair):
+        assert gcc_pair.shredder.zeroing_memory_writes == 0
+        assert gcc_pair.baseline.zeroing_memory_writes > 0
+
+
+class TestReadSavings:
+    def test_reads_reduced(self, gcc_pair):
+        assert gcc_pair.shredder.memory_reads < gcc_pair.baseline.memory_reads
+
+    def test_zero_fills_present(self, gcc_pair):
+        assert gcc_pair.shredder.zero_fill_reads > 0
+        assert gcc_pair.baseline.zero_fill_reads == 0
+
+
+class TestReadSpeedup:
+    def test_speedup_above_one(self, gcc_pair):
+        assert gcc_pair.read_speedup > 1.2
+
+    def test_avg_latency_lower(self, gcc_pair):
+        assert gcc_pair.shredder.avg_read_latency_ns < \
+            gcc_pair.baseline.avg_read_latency_ns
+
+
+class TestIPC:
+    def test_ipc_improves(self, gcc_pair):
+        assert gcc_pair.relative_ipc > 1.0
+
+    def test_ipc_improvement_bounded(self, gcc_pair):
+        assert gcc_pair.relative_ipc < 2.0, \
+            "IPC gains should be percent-scale, not multiples"
+
+    def test_same_instructions_both_systems(self, gcc_pair):
+        delta = abs(gcc_pair.shredder.instructions
+                    - gcc_pair.baseline.instructions)
+        assert delta / gcc_pair.baseline.instructions < 0.01, \
+            "fair comparison requires near-identical instruction counts"
+
+
+class TestPowerGraph:
+    def test_graph_construction_savings(self):
+        result = run_pair("PAGERANK",
+                          lambda: [powergraph_task("PAGERANK", num_nodes=400)],
+                          bench_config())
+        assert result.write_savings > 0.3, \
+            "graph construction is write-once: zeroing dominates writes"
+        assert result.relative_ipc > 1.0
+
+
+class TestEnergyAndEndurance:
+    def test_write_energy_reduced(self, gcc_pair):
+        assert gcc_pair.shredder.write_energy_pj < \
+            gcc_pair.baseline.write_energy_pj
+
+    def test_cell_programs_reduced(self, gcc_pair):
+        assert gcc_pair.shredder.bits_written < gcc_pair.baseline.bits_written

@@ -1,0 +1,95 @@
+"""Merkle-tree integrity over counter blocks (tamper detection)."""
+
+import pytest
+
+from repro.errors import AddressError, IntegrityError
+from repro.integrity import MerkleTree
+
+
+class TestMerkleBasics:
+    def test_update_then_verify(self):
+        tree = MerkleTree(16)
+        tree.update(3, b"counters-3" + bytes(54))
+        tree.verify(3, b"counters-3" + bytes(54))   # no raise
+
+    def test_tamper_detected(self):
+        tree = MerkleTree(16)
+        tree.update(3, b"A" * 64)
+        with pytest.raises(IntegrityError):
+            tree.verify(3, b"B" * 64)
+
+    def test_replay_detected(self):
+        """Replaying an OLD authenticated value must fail after an update."""
+        tree = MerkleTree(8)
+        tree.update(0, b"version-1" + bytes(55))
+        old = b"version-1" + bytes(55)
+        tree.update(0, b"version-2" + bytes(55))
+        with pytest.raises(IntegrityError):
+            tree.verify(0, old)
+
+    def test_unwritten_leaf_accepts_zero(self):
+        tree = MerkleTree(8)
+        tree.verify(5, bytes(64))      # canonical empty: fine
+
+    def test_unwritten_leaf_rejects_garbage(self):
+        tree = MerkleTree(8)
+        with pytest.raises(IntegrityError):
+            tree.verify(5, b"garbage" + bytes(57))
+
+    def test_root_changes_on_update(self):
+        tree = MerkleTree(8)
+        root0 = tree.root
+        tree.update(2, b"x" * 64)
+        assert tree.root != root0
+
+    def test_root_depends_on_position(self):
+        a, b = MerkleTree(8), MerkleTree(8)
+        a.update(0, b"x" * 64)
+        b.update(1, b"x" * 64)
+        assert a.root != b.root
+
+    def test_independent_leaves(self):
+        tree = MerkleTree(32)
+        for i in range(32):
+            tree.update(i, bytes([i]) * 64)
+        for i in range(32):
+            tree.verify(i, bytes([i]) * 64)
+
+    def test_single_leaf_tree(self):
+        tree = MerkleTree(1)
+        tree.update(0, b"only" + bytes(60))
+        tree.verify(0, b"only" + bytes(60))
+        with pytest.raises(IntegrityError):
+            tree.verify(0, bytes(64))
+
+    def test_non_power_of_two_leaves(self):
+        tree = MerkleTree(5)
+        for i in range(5):
+            tree.update(i, bytes([i + 1]) * 64)
+        for i in range(5):
+            tree.verify(i, bytes([i + 1]) * 64)
+
+    def test_out_of_range(self):
+        tree = MerkleTree(4)
+        with pytest.raises(AddressError):
+            tree.update(4, b"x" * 64)
+        with pytest.raises(AddressError):
+            tree.verify(-1, b"x" * 64)
+
+    def test_zero_leaves_rejected(self):
+        with pytest.raises(AddressError):
+            MerkleTree(0)
+
+    def test_hash_count_logarithmic(self):
+        tree = MerkleTree(1024)
+        before = tree.hash_count
+        tree.update(512, b"y" * 64)
+        # 1 leaf hash + ~log2(1024) internal recomputes.
+        assert before < tree.hash_count <= before + 16
+
+    def test_stats_counters(self):
+        tree = MerkleTree(8)
+        tree.update(0, b"a" * 64)
+        tree.verify(0, b"a" * 64)
+        assert tree.updates == 1
+        assert tree.verifications == 1

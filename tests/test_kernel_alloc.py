@@ -1,0 +1,135 @@
+"""Physical page allocator and page tables."""
+
+import pytest
+
+from repro.errors import AddressError, OutOfMemoryError, PageFaultError
+from repro.kernel import PageTable, PhysicalPageAllocator
+
+
+class TestAllocator:
+    def test_allocate_and_free(self):
+        allocator = PhysicalPageAllocator.over_range(1, 4)
+        pages = [allocator.allocate() for _ in range(4)]
+        assert sorted(pages) == [1, 2, 3, 4]
+        with pytest.raises(OutOfMemoryError):
+            allocator.allocate()
+        allocator.free(pages[0])
+        assert allocator.allocate() == pages[0]
+
+    def test_lifo_reuse(self):
+        """Freed pages are reused promptly — maximising cross-process
+        reuse, the situation that requires shredding."""
+        allocator = PhysicalPageAllocator.over_range(1, 10)
+        first = allocator.allocate()
+        allocator.allocate()
+        allocator.free(first)
+        assert allocator.allocate() == first
+
+    def test_free_foreign_page_rejected(self):
+        allocator = PhysicalPageAllocator.over_range(1, 4)
+        with pytest.raises(AddressError):
+            allocator.free(99)
+
+    def test_counters(self):
+        allocator = PhysicalPageAllocator.over_range(1, 4)
+        allocator.free(allocator.allocate())
+        assert allocator.allocations == 1
+        assert allocator.frees == 1
+
+    def test_owns(self):
+        allocator = PhysicalPageAllocator.over_range(5, 3)
+        assert allocator.owns(5) and allocator.owns(7)
+        assert not allocator.owns(8)
+
+
+class TestPrezeroedPool:
+    def test_stock_and_allocate(self):
+        allocator = PhysicalPageAllocator.over_range(1, 8)
+        stocked = allocator.stock_prezeroed(3)
+        assert len(stocked) == 3
+        page, zeroed = allocator.allocate_with_state()
+        assert zeroed and page in stocked
+        assert allocator.prezeroed_hits == 1
+
+    def test_pool_drains(self):
+        allocator = PhysicalPageAllocator.over_range(1, 8)
+        allocator.stock_prezeroed(2)
+        allocator.allocate_with_state()
+        allocator.allocate_with_state()
+        _, zeroed = allocator.allocate_with_state()
+        assert not zeroed
+
+    def test_stock_limited_by_free(self):
+        allocator = PhysicalPageAllocator.over_range(1, 2)
+        assert len(allocator.stock_prezeroed(10)) == 2
+
+
+class TestDonateReclaim:
+    def test_donate(self):
+        allocator = PhysicalPageAllocator([])
+        allocator.donate([10, 11])
+        assert allocator.free_pages == 2
+        assert allocator.allocate() in (10, 11)
+
+    def test_double_donate_rejected(self):
+        allocator = PhysicalPageAllocator([1])
+        with pytest.raises(AddressError):
+            allocator.donate([1])
+
+    def test_reclaim_removes_ownership(self):
+        allocator = PhysicalPageAllocator.over_range(1, 4)
+        taken = allocator.reclaim(2)
+        assert len(taken) == 2
+        for page in taken:
+            assert not allocator.owns(page)
+
+    def test_transfer_out(self):
+        allocator = PhysicalPageAllocator.over_range(1, 2)
+        page = allocator.allocate()
+        allocator.transfer_out(page)
+        assert not allocator.owns(page)
+        with pytest.raises(AddressError):
+            allocator.free(page)
+
+
+class TestPageTable:
+    def test_map_translate(self):
+        table = PageTable(4096)
+        table.map(vpn=2, ppn=7)
+        assert table.translate(2 * 4096 + 123, write=True) == 7 * 4096 + 123
+
+    def test_unmapped_faults(self):
+        table = PageTable(4096)
+        with pytest.raises(PageFaultError):
+            table.translate(0, write=False)
+
+    def test_write_to_readonly_faults(self):
+        table = PageTable(4096)
+        table.map(vpn=0, ppn=1, writable=False)
+        table.translate(0, write=False)
+        with pytest.raises(PageFaultError):
+            table.translate(0, write=True)
+
+    def test_zero_page_flag(self):
+        table = PageTable(4096)
+        table.map(vpn=0, ppn=0, writable=False, zero_page=True)
+        assert table.lookup(0).zero_page
+
+    def test_unmap(self):
+        table = PageTable(4096)
+        table.map(vpn=1, ppn=5)
+        entry = table.unmap(1)
+        assert entry.ppn == 5
+        assert 1 not in table
+        with pytest.raises(PageFaultError):
+            table.unmap(1)
+
+    def test_negative_address(self):
+        with pytest.raises(AddressError):
+            PageTable(4096).vpn_of(-1)
+
+    def test_iteration_sorted(self):
+        table = PageTable(4096)
+        for vpn in (5, 1, 3):
+            table.map(vpn=vpn, ppn=vpn + 10)
+        assert [vpn for vpn, _ in table.mapped_vpns()] == [1, 3, 5]

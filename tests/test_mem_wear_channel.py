@@ -1,0 +1,129 @@
+"""Start-Gap wear levelling and the channel bandwidth model."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.mem import ChannelModel, StartGapWearLeveler
+
+
+class TestStartGapMapping:
+    def test_initial_identity(self):
+        leveler = StartGapWearLeveler(8)
+        assert [leveler.translate(i) for i in range(8)] == list(range(8))
+
+    def test_bijection_always(self):
+        leveler = StartGapWearLeveler(8, gap_move_interval=1)
+        for _ in range(40):
+            physical = [leveler.translate(i) for i in range(8)]
+            assert len(set(physical)) == 8
+            assert all(0 <= p <= 8 for p in physical)
+            assert leveler.gap not in physical
+            leveler.record_write()
+
+    def test_data_preserved_across_moves(self):
+        """The move hook keeps logical contents stable (the correctness
+        contract of Start-Gap)."""
+        leveler = StartGapWearLeveler(8, gap_move_interval=1)
+        slots = {}
+
+        def move(src, dst):
+            slots[dst] = slots.pop(src, None)
+
+        leveler.move_hook = move
+        for logical in range(8):
+            slots[leveler.translate(logical)] = f"data-{logical}"
+        for step in range(50):
+            leveler.record_write()
+            for logical in range(8):
+                assert slots[leveler.translate(logical)] == f"data-{logical}", \
+                    f"corruption at step {step}"
+
+    def test_every_slot_visited(self):
+        """Over a full rotation each logical line occupies many slots."""
+        leveler = StartGapWearLeveler(4, gap_move_interval=1)
+        seen = set()
+        for _ in range(4 * 5 + 1):
+            seen.add(leveler.translate(0))
+            leveler.record_write()
+        assert len(seen) >= 4
+
+    def test_gap_moves_counted(self):
+        leveler = StartGapWearLeveler(4, gap_move_interval=2)
+        for _ in range(10):
+            leveler.record_write()
+        assert leveler.total_gap_moves == 5
+
+    def test_out_of_range(self):
+        with pytest.raises(AddressError):
+            StartGapWearLeveler(4).translate(4)
+
+    def test_bad_params(self):
+        with pytest.raises(AddressError):
+            StartGapWearLeveler(0)
+        with pytest.raises(AddressError):
+            StartGapWearLeveler(4, gap_move_interval=0)
+
+
+class TestChannelModel:
+    def test_transfer_time(self):
+        channels = ChannelModel(2, 12.8, 64)
+        assert channels.transfer_ns == pytest.approx(5.0)
+
+    def test_uncontended_latency(self):
+        channels = ChannelModel(2, 12.8, 64)
+        finish = channels.request(0, 0.0, 75.0)
+        assert finish == pytest.approx(80.0)
+
+    def test_striping(self):
+        channels = ChannelModel(2, 12.8, 64)
+        assert channels.channel_for(0) == 0
+        assert channels.channel_for(64) == 1
+        assert channels.channel_for(128) == 0
+
+    def test_queueing_on_same_channel(self):
+        channels = ChannelModel(1, 12.8, 64)
+        first = channels.request(0, 0.0, 75.0)
+        second = channels.request(64, 0.0, 75.0)
+        assert second == pytest.approx(first + 5.0)
+        assert channels.queued_requests == 1
+
+    def test_no_queueing_across_channels(self):
+        channels = ChannelModel(2, 12.8, 64)
+        channels.request(0, 0.0, 75.0)
+        finish = channels.request(64, 0.0, 75.0)
+        assert finish == pytest.approx(80.0)
+
+    def test_device_latency_pipelined(self):
+        """Bank-level parallelism: bus slots serialise, cell latency
+        overlaps, so 10 reads take ~transfer*10 + latency, not 10x."""
+        channels = ChannelModel(1, 12.8, 64)
+        last = 0.0
+        for i in range(10):
+            last = channels.request(0, 0.0, 75.0)
+        assert last == pytest.approx(10 * 5.0 + 75.0)
+
+    def test_queue_delay_bounded(self):
+        channels = ChannelModel(1, 12.8, 64)
+        cap = channels.max_queue_slots * channels.transfer_ns
+        for _ in range(1000):
+            finish = channels.request(0, 0.0, 75.0)
+        assert finish - 0.0 <= cap + 5.0 + 75.0 + 1e-9
+
+    def test_utilization(self):
+        channels = ChannelModel(2, 12.8, 64)
+        channels.request(0, 0.0, 75.0)
+        assert 0 < channels.utilization(100.0) <= 1.0
+        assert channels.utilization(0.0) == 0.0
+
+    def test_reset(self):
+        channels = ChannelModel(1, 12.8, 64)
+        channels.request(0, 0.0, 75.0)
+        channels.reset()
+        assert channels.total_requests == 0
+        assert channels.request(0, 0.0, 75.0) == pytest.approx(80.0)
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigError):
+            ChannelModel(0, 12.8)
+        with pytest.raises(ConfigError):
+            ChannelModel(2, 0.0)

@@ -1,0 +1,88 @@
+"""munmap and TLB shootdown."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import PageFaultError, SimulationError
+from repro.sim import System
+
+
+@pytest.fixture
+def tlb_system(tiny_config):
+    config = replace(tiny_config.with_zeroing("shred"),
+                     cpu=replace(tiny_config.cpu, tlb_entries=16))
+    return System(config, shredder=True)
+
+
+class TestMunmap:
+    def test_pages_return_to_pool(self, tiny_config):
+        system = System(tiny_config.with_zeroing("shred"), shredder=True)
+        ctx = system.new_context(0)
+        kernel = system.kernel
+        free_before = kernel.allocator.free_pages
+        region = kernel.mmap(ctx.pid, 3 * 4096)
+        for page in range(3):
+            ctx.touch(region.start + page * 4096, write=True)
+        assert kernel.allocator.free_pages == free_before - 3
+        freed = kernel.munmap(ctx.pid, region)
+        assert freed == 3
+        assert kernel.allocator.free_pages == free_before
+
+    def test_access_after_munmap_faults(self, tiny_config):
+        system = System(tiny_config.with_zeroing("shred"), shredder=True)
+        ctx = system.new_context(0)
+        region = system.kernel.mmap(ctx.pid, 4096)
+        ctx.touch(region.start, write=True)
+        system.kernel.munmap(ctx.pid, region)
+        with pytest.raises(Exception):
+            system.kernel.translate(ctx.pid, region.start, write=True)
+
+    def test_zero_page_mappings_not_freed(self, tiny_config):
+        system = System(tiny_config.with_zeroing("shred"), shredder=True)
+        ctx = system.new_context(0)
+        region = system.kernel.mmap(ctx.pid, 4096)
+        ctx.touch(region.start, write=False)     # zero-page mapping only
+        assert system.kernel.munmap(ctx.pid, region) == 0
+
+    def test_foreign_region_rejected(self, tiny_config):
+        system = System(tiny_config.with_zeroing("shred"), shredder=True)
+        a = system.new_context(0)
+        b = system.new_context(1)
+        region = system.kernel.mmap(a.pid, 4096)
+        with pytest.raises(SimulationError):
+            system.kernel.munmap(b.pid, region)
+
+
+class TestShootdown:
+    def test_stale_tlb_entry_removed(self, tlb_system):
+        ctx = tlb_system.new_context(0)
+        region = tlb_system.kernel.mmap(ctx.pid, 4096)
+        ctx.touch(region.start, write=True)
+        assert ctx.tlb.lookup(region.start // 4096, write=True) is not None
+        tlb_system.kernel.munmap(ctx.pid, region)
+        assert ctx.tlb.lookup(region.start // 4096, write=True) is None
+
+    def test_shootdown_charges_cores(self, tlb_system):
+        ctx = tlb_system.new_context(0)
+        other = tlb_system.new_context(1)
+        region = tlb_system.kernel.mmap(ctx.pid, 4096)
+        ctx.touch(region.start, write=True)
+        cycles_before = other.core.stats.cycles
+        tlb_system.kernel.munmap(ctx.pid, region)
+        assert other.core.stats.cycles > cycles_before
+
+    def test_no_stale_translation_leak(self, tlb_system):
+        """After munmap + reallocation to another process, the first
+        process's TLB cannot reach the recycled frame."""
+        victim = tlb_system.new_context(0)
+        region = tlb_system.kernel.mmap(victim.pid, 4096)
+        victim.store_u64(region.start, 77)
+        tlb_system.kernel.munmap(victim.pid, region)
+
+        attacker = tlb_system.new_context(1)
+        region2 = tlb_system.kernel.mmap(attacker.pid, 4096)
+        attacker.store_u64(region2.start, 88)
+        # Victim's old virtual address no longer resolves anywhere.
+        with pytest.raises(Exception):
+            tlb_system.kernel.translate(victim.pid, region.start, write=False)

@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.iv import CounterBlock, IVLayout
+from repro.crypto import AES128, CounterModeEngine, XorShiftCipher
+from repro.integrity import MerkleTree
+from repro.mem import StartGapWearLeveler
+from repro.cache import CoherenceDirectory
+
+
+# ---------------------------------------------------------------------------
+# Crypto
+# ---------------------------------------------------------------------------
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+@settings(max_examples=25, deadline=None)
+def test_aes_roundtrip_property(key, block):
+    cipher = AES128(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(st.binary(min_size=16, max_size=16))
+@settings(max_examples=25, deadline=None)
+def test_aes_is_permutation_injective(block):
+    cipher = AES128(b"fixed-key-16byte")
+    other = bytes(block[i] ^ (1 if i == 0 else 0) for i in range(16))
+    assert cipher.encrypt_block(block) != cipher.encrypt_block(other)
+
+
+@given(st.binary(min_size=64, max_size=64),
+       st.integers(min_value=0, max_value=2 ** 100))
+@settings(max_examples=50, deadline=None)
+def test_ctr_roundtrip_property(data, iv_value):
+    engine = CounterModeEngine(XorShiftCipher(b"k" * 16), 64)
+    iv = ((iv_value % (1 << 120)) << 8).to_bytes(16, "big")
+    assert engine.decrypt(engine.encrypt(data, iv), iv) == data
+
+
+@given(st.binary(min_size=64, max_size=64),
+       st.integers(min_value=0, max_value=2 ** 60),
+       st.integers(min_value=1, max_value=2 ** 60))
+@settings(max_examples=50, deadline=None)
+def test_ctr_wrong_iv_never_recovers(data, iv_a, delta):
+    engine = CounterModeEngine(XorShiftCipher(b"k" * 16), 64)
+    iv1 = (iv_a << 8).to_bytes(16, "big")
+    iv2 = ((iv_a + delta) << 8).to_bytes(16, "big")
+    ciphertext = engine.encrypt(data, iv1)
+    wrong = engine.decrypt(ciphertext, iv2)
+    assert wrong != data or data == engine.pad_for_iv(iv1) == b""  # never
+
+
+# ---------------------------------------------------------------------------
+# IV layout and counter blocks
+# ---------------------------------------------------------------------------
+
+@given(st.integers(0, (1 << 40) - 1), st.integers(0, 255),
+       st.integers(0, (1 << 64) - 1), st.integers(0, 255))
+@settings(max_examples=100, deadline=None)
+def test_iv_layout_roundtrip_property(page_id, offset, major, minor):
+    layout = IVLayout()
+    assert layout.parse(layout.build(page_id, offset, major, minor)) == \
+        (page_id, offset, major, minor)
+
+
+@given(st.lists(st.integers(0, 127), min_size=1, max_size=64),
+       st.integers(0, (1 << 64) - 1))
+@settings(max_examples=100, deadline=None)
+def test_counter_block_pack_roundtrip_property(minors, major):
+    block = CounterBlock(major=major, minors=minors, minor_bits=7)
+    restored = CounterBlock.unpack(block.pack(), len(minors), 7)
+    assert restored.major == major
+    assert restored.minors == minors
+
+
+@given(st.lists(st.integers(0, 127), min_size=2, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_shred_always_changes_every_iv(minors):
+    """After a shred, every block's (major, minor) pair differs from its
+    pre-shred pair — the property that makes old pads unreachable."""
+    block = CounterBlock(major=0, minors=list(minors), minor_bits=7)
+    before = [(block.major, m) for m in block.minors]
+    block.shred()
+    after = [(block.major, m) for m in block.minors]
+    assert all(b != a for b, a in zip(before, after))
+
+
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_minor_zero_reserved_property(write_offsets):
+    """Any interleaving of writes and overflow re-encryptions never
+    produces minor 0 except via shred."""
+    block = CounterBlock.fresh(64)
+    for offset in write_offsets:
+        if block.bump_minor(offset):
+            block.reencrypt()
+            block.bump_minor(offset)
+    assert all(m >= 1 for m in block.minors)
+
+
+# ---------------------------------------------------------------------------
+# Merkle tree
+# ---------------------------------------------------------------------------
+
+@given(st.dictionaries(st.integers(0, 31), st.binary(min_size=64, max_size=64),
+                       min_size=1, max_size=16))
+@settings(max_examples=30, deadline=None)
+def test_merkle_accepts_all_written_values(leaves):
+    tree = MerkleTree(32)
+    for index, data in leaves.items():
+        tree.update(index, data)
+    for index, data in leaves.items():
+        tree.verify(index, data)
+
+
+@given(st.integers(0, 15), st.binary(min_size=64, max_size=64),
+       st.binary(min_size=64, max_size=64))
+@settings(max_examples=30, deadline=None)
+def test_merkle_rejects_any_substitution(index, genuine, forged):
+    if genuine == forged:
+        return
+    tree = MerkleTree(16)
+    tree.update(index, genuine)
+    try:
+        tree.verify(index, forged)
+        raised = False
+    except Exception:
+        raised = True
+    assert raised
+
+
+# ---------------------------------------------------------------------------
+# Start-Gap wear levelling
+# ---------------------------------------------------------------------------
+
+@given(st.integers(2, 32), st.integers(1, 5), st.integers(0, 400))
+@settings(max_examples=30, deadline=None)
+def test_start_gap_preserves_logical_contents(lines, interval, writes):
+    leveler = StartGapWearLeveler(lines, gap_move_interval=interval)
+    slots = {}
+
+    def move(src, dst):
+        slots[dst] = slots.pop(src, None)
+
+    leveler.move_hook = move
+    for logical in range(lines):
+        slots[leveler.translate(logical)] = logical
+    for _ in range(writes):
+        leveler.record_write()
+    for logical in range(lines):
+        assert slots[leveler.translate(logical)] == logical
+
+
+@given(st.integers(2, 32), st.integers(0, 200))
+@settings(max_examples=30, deadline=None)
+def test_start_gap_always_bijective(lines, writes):
+    leveler = StartGapWearLeveler(lines, gap_move_interval=1)
+    for _ in range(writes):
+        leveler.record_write()
+    mapping = [leveler.translate(i) for i in range(lines)]
+    assert len(set(mapping)) == lines
+    assert leveler.gap not in mapping
+
+
+# ---------------------------------------------------------------------------
+# MESI directory
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(["read", "write", "evict"]),
+                          st.integers(0, 3), st.integers(0, 7)),
+                max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_mesi_invariants_under_random_traffic(events):
+    directory = CoherenceDirectory(4)
+    for kind, core, block in events:
+        address = block * 64
+        if kind == "read":
+            directory.read(address, core)
+        elif kind == "write":
+            directory.write(address, core)
+        else:
+            directory.evicted(address, core)
+        directory.check_invariants()

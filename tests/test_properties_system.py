@@ -1,0 +1,120 @@
+"""Property-based tests for the system-level substrates (allocator,
+TLB, channels, simulated arrays)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CPUConfig
+from repro.cpu import TLB
+from repro.errors import OutOfMemoryError
+from repro.kernel import PhysicalPageAllocator
+from repro.mem import ChannelModel
+
+
+# ---------------------------------------------------------------------------
+# Physical page allocator
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.sampled_from(["alloc", "free"]), max_size=150))
+@settings(max_examples=40, deadline=None)
+def test_allocator_never_double_allocates(script):
+    allocator = PhysicalPageAllocator.over_range(1, 24)
+    live = set()
+    for action in script:
+        if action == "alloc":
+            try:
+                page = allocator.allocate()
+            except OutOfMemoryError:
+                assert len(live) == 24
+                continue
+            assert page not in live, "double allocation"
+            assert allocator.owns(page)
+            live.add(page)
+        elif live:
+            page = live.pop()
+            allocator.free(page)
+    assert allocator.free_pages == 24 - len(live)
+
+
+@given(st.integers(1, 16), st.integers(1, 40))
+@settings(max_examples=40, deadline=None)
+def test_contiguous_allocation_is_contiguous(count, pool):
+    allocator = PhysicalPageAllocator.over_range(1, max(pool, 1))
+    try:
+        pages = allocator.allocate_contiguous(count)
+    except OutOfMemoryError:
+        assert count > pool
+        return
+    assert pages == list(range(pages[0], pages[0] + count))
+    assert allocator.free_pages == pool - count
+    # None of the granted pages can be allocated again.
+    seen = set(pages)
+    while True:
+        try:
+            page = allocator.allocate()
+        except OutOfMemoryError:
+            break
+        assert page not in seen
+
+
+@given(st.lists(st.integers(0, 30), max_size=60))
+@settings(max_examples=30, deadline=None)
+def test_prezero_pool_conserves_pages(stock_requests):
+    allocator = PhysicalPageAllocator.over_range(1, 32)
+    for request in stock_requests:
+        allocator.stock_prezeroed(request % 5)
+        if allocator.free_pages:
+            allocator.free(allocator.allocate())
+    assert allocator.free_pages <= 32
+    total_handed = 0
+    while allocator.free_pages:
+        allocator.allocate()
+        total_handed += 1
+    assert total_handed <= 32
+
+
+# ---------------------------------------------------------------------------
+# TLB vs a reference dictionary
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(["insert", "lookup", "invalidate"]),
+                          st.integers(0, 40), st.booleans()),
+                max_size=120))
+@settings(max_examples=40, deadline=None)
+def test_tlb_agrees_with_reference(script):
+    tlb = TLB(8, 4096)
+    reference = {}          # vpn -> (ppn, writable); unordered, uncapped
+    for action, vpn, flag in script:
+        if action == "insert":
+            tlb.insert(vpn, vpn + 1000, writable=flag)
+            reference[vpn] = (vpn + 1000, flag)
+        elif action == "invalidate":
+            tlb.invalidate(vpn)
+            reference.pop(vpn, None)
+        else:
+            result = tlb.lookup(vpn, write=flag)
+            if result is not None:
+                # A hit must agree with the reference (capacity may have
+                # evicted entries, so misses are always acceptable).
+                assert vpn in reference
+                ppn, writable = reference[vpn]
+                assert result == ppn
+                assert writable or not flag
+    assert len(tlb) <= 8
+
+
+# ---------------------------------------------------------------------------
+# Channel model
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.floats(0, 1e5),
+                          st.booleans()), min_size=1, max_size=120))
+@settings(max_examples=40, deadline=None)
+def test_channel_latency_bounds(requests):
+    channels = ChannelModel(2, 12.8, 64)
+    cap = channels.max_queue_slots * channels.transfer_ns
+    for block, now, is_read in requests:
+        service = 75.0 if is_read else 150.0
+        finish = channels.request(block * 64, now, service, is_read=is_read)
+        minimum = now + channels.transfer_ns + service
+        assert finish >= minimum - 1e-9
+        assert finish <= minimum + cap + 1e-9, "queue delay exceeded cap"

@@ -1,0 +1,78 @@
+"""Config serialization and structured result export."""
+
+import io
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import render_table, rows_to_csv, rows_to_json
+from repro.config import bench_config, default_config, fast_config
+from repro.errors import ConfigError
+from repro.serialization import (config_from_dict, config_to_dict,
+                                 load_config, save_config)
+
+
+class TestConfigRoundtrip:
+    @pytest.mark.parametrize("factory", [default_config, fast_config,
+                                         bench_config])
+    def test_roundtrip_identity(self, factory):
+        config = factory()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_roundtrip_with_overrides(self):
+        config = fast_config().with_zeroing("shred").with_counter_cache_size(
+            32 * 1024)
+        config = replace(config, encryption=replace(config.encryption,
+                                                    cipher="aes",
+                                                    key=b"0123456789abcdef"))
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+        assert restored.encryption.key == b"0123456789abcdef"
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "config.json"
+        config = bench_config()
+        save_config(config, path)
+        assert load_config(path) == config
+        # The file is valid, human-readable JSON.
+        document = json.loads(path.read_text())
+        assert document["cpu"]["num_cores"] == 4
+
+    def test_malformed_document(self):
+        with pytest.raises(ConfigError):
+            config_from_dict({"cpu": {"bogus_field": 1}})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_config(tmp_path / "nope.json")
+
+    def test_invalid_values_still_validated(self):
+        data = config_to_dict(fast_config())
+        data["kernel"]["zeroing_strategy"] = "bleach"
+        with pytest.raises(ConfigError):
+            config_from_dict(data)
+
+
+class TestRowExport:
+    ROWS = [{"name": "a", "value": 1.5}, {"name": "b", "value": 2}]
+
+    def test_csv(self):
+        stream = io.StringIO()
+        assert rows_to_csv(self.ROWS, stream) == 2
+        lines = stream.getvalue().strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "a,1.5"
+
+    def test_csv_empty(self):
+        assert rows_to_csv([], io.StringIO()) == 0
+
+    def test_json(self):
+        stream = io.StringIO()
+        assert rows_to_json(self.ROWS, stream) == 2
+        assert json.loads(stream.getvalue()) == [
+            {"name": "a", "value": 1.5}, {"name": "b", "value": 2}]
+
+    def test_render_consistency(self):
+        text = render_table(self.ROWS)
+        assert "name" in text and "a" in text

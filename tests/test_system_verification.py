@@ -1,0 +1,75 @@
+"""System-level verification helpers: invariants, stat reset, dumps."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import System
+from repro.workloads import SPEC_BENCHMARKS, spec_task
+
+
+@pytest.fixture
+def busy_system(timing_config):
+    system = System(timing_config.with_zeroing("shred"), shredder=True,
+                    name="verify")
+    system.run_single(spec_task(SPEC_BENCHMARKS["GCC"].scaled(0.05)))
+    return system
+
+
+class TestVerifyInvariants:
+    def test_clean_after_run(self, busy_system):
+        busy_system.verify_invariants()
+
+    def test_detects_counter_corruption(self, busy_system):
+        cache = busy_system.machine.controller.counter_cache
+        addresses = cache._cache.resident_addresses()
+        assert addresses, "run must have touched counters"
+        line = cache._cache.peek(addresses[0])
+        line.payload.minors[0] = 9999
+        with pytest.raises(SimulationError):
+            busy_system.verify_invariants()
+
+    def test_detects_inclusion_violation(self, busy_system):
+        hierarchy = busy_system.machine.hierarchy
+        resident = hierarchy.l1[0].resident_addresses()
+        assert resident
+        hierarchy.l4.invalidate(resident[0])     # break inclusion by hand
+        with pytest.raises(Exception):
+            busy_system.verify_invariants()
+
+
+class TestResetStats:
+    def test_counters_zeroed_state_kept(self, busy_system):
+        l4_lines = len(busy_system.machine.hierarchy.l4)
+        assert busy_system.report().memory_writes >= 0
+        busy_system.reset_stats()
+        report = busy_system.report()
+        assert report.memory_writes == 0
+        assert report.memory_reads == 0
+        assert report.pages_zeroed == 0
+        assert busy_system.kernel.stats.cow_faults == 0
+        # Architectural state survives: caches stay warm.
+        assert len(busy_system.machine.hierarchy.l4) == l4_lines
+
+    def test_warmup_methodology(self, timing_config):
+        """Warm up, reset, measure: the section 5 procedure."""
+        system = System(timing_config.with_zeroing("shred"), shredder=True)
+        system.run_single(spec_task(SPEC_BENCHMARKS["HMMER"].scaled(0.05)))
+        system.reset_stats()
+        ctx = system.new_context(0)
+        base = ctx.malloc(4096)
+        ctx.touch(base, write=True)
+        report = system.report()
+        assert report.shreds == 1      # only the measured window counted
+
+
+class TestDumpStats:
+    def test_sections_present(self, busy_system):
+        text = busy_system.dump_stats()
+        for section in ("[cpu]", "[caches", "[secure memory controller]",
+                        "[nvm device]", "[kernel]"):
+            assert section in text
+
+    def test_dump_reflects_activity(self, busy_system):
+        text = busy_system.dump_stats()
+        assert "shreds" in text
+        assert busy_system.name in text
