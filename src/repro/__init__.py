@@ -23,16 +23,20 @@ paper-versus-measured record of every figure and table.
 
 from .config import (SystemConfig, CacheConfig, NVMConfig, DRAMConfig,
                      EncryptionConfig, CounterCacheConfig, CPUConfig,
-                     KernelConfig, default_config, fast_config, bench_config)
+                     KernelConfig, default_config, fast_config, bench_config,
+                     config_digest)
 from .errors import (ReproError, ConfigError, AddressError, AlignmentError,
                      OutOfMemoryError, PageFaultError, ProtectionError,
                      IntegrityError, EnduranceExceededError, CipherError,
-                     CounterOverflowError, SimulationError)
+                     CounterOverflowError, SimulationError, ExperimentError)
 from .core import (SilentShredderController, SecureMemoryController,
                    ShredRegister, CounterBlock, IVLayout, make_policy)
 from .sim import Machine, System, SystemReport, RunResult, compare_runs
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from .exec import (Experiment, Runner, ResultCache, run_experiments,
+                   spec_experiment, powergraph_experiment, experiment_pair)
 
 __all__ = [
     "AddressError",
@@ -47,6 +51,8 @@ __all__ = [
     "DRAMConfig",
     "EncryptionConfig",
     "EnduranceExceededError",
+    "Experiment",
+    "ExperimentError",
     "IVLayout",
     "IntegrityError",
     "KernelConfig",
@@ -56,7 +62,9 @@ __all__ = [
     "PageFaultError",
     "ProtectionError",
     "ReproError",
+    "ResultCache",
     "RunResult",
+    "Runner",
     "SecureMemoryController",
     "ShredRegister",
     "SilentShredderController",
@@ -66,8 +74,13 @@ __all__ = [
     "SystemReport",
     "bench_config",
     "compare_runs",
+    "config_digest",
     "default_config",
+    "experiment_pair",
     "fast_config",
     "make_policy",
+    "powergraph_experiment",
+    "run_experiments",
+    "spec_experiment",
     "__version__",
 ]

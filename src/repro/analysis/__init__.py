@@ -2,8 +2,10 @@
 
 Each ``figN_*`` function runs the simulations behind one figure or
 table of the paper and returns plain data (lists of dict rows), which
-the benchmark harness prints and EXPERIMENTS.md records. Results are
-memoised per process so the Figure 8-11 benchmarks share one sweep.
+the benchmark harness prints and EXPERIMENTS.md records. The heavy
+builders delegate to the shared :class:`repro.exec.Runner`, so results
+persist in the content-addressed cache (warm reruns are file reads)
+and cold sweeps accept ``jobs=N`` for parallel execution.
 """
 
 from .figures import (

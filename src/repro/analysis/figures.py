@@ -1,17 +1,26 @@
 """Data-series builders for every figure and table in the evaluation.
 
-All functions are deterministic given their arguments and memoised per
-process, so the four benchmarks that share the initialization study
-(Figures 8-11) run the sweep once.
+All functions are deterministic given their arguments. The heavy
+builders (:func:`run_pair`, :func:`fig8_to_11_study`,
+:func:`fig12_counter_cache_sweep`, :func:`table2_mechanisms`,
+:func:`ablation_policies`) describe their runs as
+:class:`~repro.exec.Experiment` batches and delegate to the shared
+:class:`~repro.exec.Runner`, so identical runs are served from the
+persistent result cache and cold sweeps can fan out across worker
+processes (``jobs=N``). The two microbenchmark builders (Figures 4/5)
+drive bespoke measurement loops and keep a light per-process memo.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import SystemConfig, bench_config
-from ..core.policies import make_policy
+from ..exec import (Experiment, Runner, experiment_pair, powergraph_experiment,
+                    spec_experiment)
+from ..exec.cache import default_cache
 from ..sim import System, compare_runs
 from ..sim.results import RunResult, arithmetic_mean, geometric_mean
 from ..workloads import (SPEC_BENCHMARKS, memset_experiment,
@@ -26,28 +35,78 @@ def _memoised(key: tuple, build: Callable[[], object]) -> object:
     return _memo[key]
 
 
-def clear_memo() -> None:
+def clear_memo(*, disk: bool = False) -> None:
+    """Invalidate cached figure data.
+
+    Thin shim over the execution cache: clears the Figure 4/5 memo and
+    the shared result cache's in-process layer. Pass ``disk=True`` to
+    also delete the persistent on-disk entries.
+    """
     _memo.clear()
+    cache = default_cache()
+    if disk:
+        cache.clear()
+    else:
+        cache.clear_memory()
+
+
+def _make_runner(jobs: Optional[int], use_cache: Optional[bool],
+                 runner: Optional[Runner]) -> Runner:
+    """Resolve the execution engine a figure builder should use."""
+    if runner is not None:
+        return runner
+    return Runner(jobs=1 if jobs is None else jobs,
+                  use_cache=True if use_cache is None else use_cache)
 
 
 # ---------------------------------------------------------------------------
 # Shared pair-runner
 # ---------------------------------------------------------------------------
 
-def run_pair(name: str, make_tasks: Callable[[], list],
-             config: Optional[SystemConfig] = None) -> RunResult:
-    """Run identical tasks on the baseline and Silent Shredder systems.
+def run_pair(experiment, make_tasks: Optional[Callable[[], list]] = None,
+             config: Optional[SystemConfig] = None, *,
+             jobs: Optional[int] = None, use_cache: Optional[bool] = None,
+             runner: Optional[Runner] = None) -> RunResult:
+    """Run one workload on the baseline and Silent Shredder systems.
 
     Baseline: secure counter-mode controller, non-temporal kernel
     zeroing (the paper's baseline assumption in section 5). Shredder:
-    the same machine with the shred command replacing zeroing.
+    the same machine with the shred command replacing zeroing. Both
+    variants derive from the experiment's single base config.
+
+    Pass an :class:`~repro.exec.Experiment` describing the workload;
+    its baseline/shredder variants execute through the shared
+    :class:`~repro.exec.Runner` (cached, parallelisable). The old
+    ``run_pair(name, make_tasks, config)`` callable form still works
+    but is deprecated: an opaque callable cannot be hashed, so it
+    bypasses the cache and always runs serially in-process.
     """
-    config = config if config is not None else bench_config()
-    baseline = System(config.with_zeroing("nontemporal"), shredder=False,
+    if make_tasks is not None or isinstance(experiment, str):
+        warnings.warn(
+            "run_pair(name, make_tasks, config) is deprecated; pass an "
+            "Experiment (e.g. repro.exec.spec_experiment(...)) to get "
+            "caching and parallel execution", DeprecationWarning,
+            stacklevel=2)
+        return _run_pair_legacy(experiment, make_tasks, config)
+    if not isinstance(experiment, Experiment):
+        raise TypeError(f"run_pair expects an Experiment, "
+                        f"got {type(experiment).__name__}")
+    baseline_exp, shredder_exp = experiment_pair(experiment)
+    engine = _make_runner(jobs, use_cache, runner)
+    baseline_report, shredder_report = engine.run([baseline_exp, shredder_exp])
+    return compare_runs(baseline_report, shredder_report,
+                        experiment.name or experiment.workload)
+
+
+def _run_pair_legacy(name: str, make_tasks: Callable[[], list],
+                     config: Optional[SystemConfig]) -> RunResult:
+    """The pre-Experiment path: both systems from one base config."""
+    base_config = config if config is not None else bench_config()
+    baseline = System(base_config.with_zeroing("nontemporal"), shredder=False,
                       name=f"{name}-baseline")
     baseline.run(make_tasks())
     baseline.machine.hierarchy.flush_all()
-    shredder = System(config.with_zeroing("shred"), shredder=True,
+    shredder = System(base_config.with_zeroing("shred"), shredder=True,
                       name=f"{name}-shredder")
     shredder.run(make_tasks())
     shredder.machine.hierarchy.flush_all()
@@ -149,29 +208,37 @@ def fig5_zeroing_writes(apps: Sequence[str], *, num_nodes: int = 800,
 def fig8_to_11_study(*, benchmarks: Optional[Sequence[str]] = None,
                      scale: float = 1.0, cores: int = 2,
                      powergraph_nodes: int = 5000,
-                     config: Optional[SystemConfig] = None) -> List[RunResult]:
+                     config: Optional[SystemConfig] = None,
+                     jobs: Optional[int] = None,
+                     use_cache: Optional[bool] = None,
+                     runner: Optional[Runner] = None) -> List[RunResult]:
     """Baseline-vs-shredder pairs for the SPEC + PowerGraph suite.
 
     One sweep feeds Figure 8 (write savings), Figure 9 (read-traffic
     savings), Figure 10 (read speedup) and Figure 11 (relative IPC).
+    Every (benchmark, variant) run is an independent experiment, so the
+    sweep parallelises across ``jobs`` workers and warm reruns are pure
+    cache reads.
     """
     names = tuple(benchmarks) if benchmarks is not None \
         else tuple(SPEC_BENCHMARKS) + ("PAGERANK", "SIMPLE_COLORING", "KCORE")
+    base_config = config if config is not None else bench_config()
 
-    def build() -> List[RunResult]:
-        results = []
-        base_config = config if config is not None else bench_config()
-        for name in names:
-            if name in SPEC_BENCHMARKS:
-                def make_tasks(name=name):
-                    return multiprogrammed_tasks(name, cores, scale=scale)
-            else:
-                def make_tasks(name=name):
-                    return [powergraph_task(name, num_nodes=powergraph_nodes)]
-            results.append(run_pair(name, make_tasks, base_config))
-        return results
+    pairs = []
+    for name in names:
+        if name in SPEC_BENCHMARKS:
+            experiment = spec_experiment(name, cores=cores, scale=scale,
+                                         config=base_config)
+        else:
+            experiment = powergraph_experiment(name,
+                                               num_nodes=powergraph_nodes,
+                                               config=base_config)
+        pairs.append(experiment_pair(experiment))
 
-    return _memoised(("study", names, scale, cores, powergraph_nodes), build)
+    engine = _make_runner(jobs, use_cache, runner)
+    reports = engine.run([exp for pair in pairs for exp in pair])
+    return [compare_runs(reports[2 * i], reports[2 * i + 1], name)
+            for i, name in enumerate(names)]
 
 
 def study_summary(results: List[RunResult]) -> dict:
@@ -196,28 +263,32 @@ def study_summary(results: List[RunResult]) -> dict:
 
 def fig12_counter_cache_sweep(sizes_bytes: Sequence[int], *,
                               benchmark: str = "GEMS", scale: float = 1.0,
-                              config: Optional[SystemConfig] = None) -> List[dict]:
+                              config: Optional[SystemConfig] = None,
+                              jobs: Optional[int] = None,
+                              use_cache: Optional[bool] = None,
+                              runner: Optional[Runner] = None) -> List[dict]:
     """Counter-cache miss rate as its capacity grows (knee at 4 MB in
     the paper; the knee lands where the cache covers the hot footprint,
     which scales with our shrunken system)."""
-    def build() -> List[dict]:
-        base_config = config if config is not None else bench_config()
-        rows = []
-        for size in sizes_bytes:
-            cfg = base_config.with_counter_cache_size(size).with_zeroing("shred")
-            system = System(cfg, shredder=True, name=f"fig12-{size}")
-            tasks = multiprogrammed_tasks(benchmark, len(system.cores),
-                                          scale=scale)
-            system.run(tasks)
-            stats = system.machine.controller.stats
-            rows.append({
-                "size_bytes": size,
-                "miss_rate": stats.counter_miss_rate,
-                "hits": stats.counter_hits,
-                "misses": stats.counter_misses,
-            })
-        return rows
-    return _memoised(("fig12", tuple(sizes_bytes), benchmark, scale), build)
+    base_config = config if config is not None else bench_config()
+    experiments = [
+        Experiment(workload="spec",
+                   params={"benchmark": benchmark,
+                           "cores": base_config.cpu.num_cores,
+                           "scale": scale},
+                   config=base_config.with_counter_cache_size(size)
+                                     .with_zeroing("shred"),
+                   shredder=True, name=f"fig12-{size}")
+        for size in sizes_bytes
+    ]
+    engine = _make_runner(jobs, use_cache, runner)
+    reports = engine.run(experiments)
+    return [{
+        "size_bytes": size,
+        "miss_rate": report.counter_miss_rate,
+        "hits": int(report.extra["counter_hits"]),
+        "misses": int(report.extra["counter_misses"]),
+    } for size, report in zip(sizes_bytes, reports)]
 
 
 # ---------------------------------------------------------------------------
@@ -225,57 +296,59 @@ def fig12_counter_cache_sweep(sizes_bytes: Sequence[int], *,
 # ---------------------------------------------------------------------------
 
 def table2_mechanisms(*, pages: int = 24,
-                      config: Optional[SystemConfig] = None) -> List[dict]:
+                      config: Optional[SystemConfig] = None,
+                      jobs: Optional[int] = None,
+                      use_cache: Optional[bool] = None,
+                      runner: Optional[Runner] = None) -> List[dict]:
     """Measure each zeroing mechanism's costs on identical page batches.
 
     RowClone requires encryption disabled (DRAM-specific); the other
     mechanisms run on the encrypted NVM machine.
     """
-    def build() -> List[dict]:
-        base_config = config if config is not None else bench_config()
-        rows = []
-        for strategy in ("temporal", "nontemporal", "dma", "rowclone", "shred"):
-            cfg = base_config.with_zeroing(strategy)
-            if strategy == "rowclone":
-                cfg = replace(cfg, encryption=replace(cfg.encryption,
-                                                      enabled=False))
-            shredder = strategy == "shred"
-            system = System(cfg, shredder=shredder, name=f"table2-{strategy}")
-            ctx = system.new_context(0)
-            base = ctx.malloc(pages * cfg.kernel.page_size)
-            writes_before = system.machine.controller.stats.data_writes
-            # First-touch every page so the kernel zeroes it.
-            for page in range(pages):
-                ctx.touch(base + page * cfg.kernel.page_size, write=True)
-            zs = system.kernel.zeroing.stats
-            # Temporal zeroing parks its zeros dirty in the caches; the
-            # flush reveals the writes it merely deferred. The app's own
-            # stores (one per page) are subtracted so every column counts
-            # zeroing-attributable writes only.
-            system.machine.hierarchy.flush_all()
-            total_writes = (system.machine.controller.stats.data_writes
-                            - writes_before)
-            if strategy == "temporal":
-                zeroing_writes = max(0, total_writes - pages)
-            else:
-                zeroing_writes = zs.memory_writes
-            l1_pollution = zs.cache_blocks_polluted
-            rows.append({
-                "mechanism": strategy,
-                "pages": zs.pages_zeroed,
-                "memory_writes": zeroing_writes,
-                "immediate_writes": zs.memory_writes,
-                "memory_reads": zs.memory_reads,
-                "cpu_busy_ns_per_page": zs.cpu_busy_ns / max(zs.pages_zeroed, 1),
-                "latency_ns_per_page": zs.latency_ns / max(zs.pages_zeroed, 1),
-                "cache_pollution_blocks": l1_pollution,
-                "no_cache_pollution": l1_pollution == 0,
-                "no_memory_writes": zeroing_writes == 0,
-                "no_memory_bus_writes": strategy in ("shred", "rowclone"),
-                "persistent": strategy not in ("temporal",),
-            })
-        return rows
-    return _memoised(("table2", pages), build)
+    base_config = config if config is not None else bench_config()
+    strategies = ("temporal", "nontemporal", "dma", "rowclone", "shred")
+    experiments = []
+    for strategy in strategies:
+        cfg = base_config.with_zeroing(strategy)
+        if strategy == "rowclone":
+            cfg = replace(cfg, encryption=replace(cfg.encryption,
+                                                  enabled=False))
+        experiments.append(Experiment(workload="table2-zeroing",
+                                      params={"pages": pages}, config=cfg,
+                                      shredder=(strategy == "shred"),
+                                      name=f"table2-{strategy}"))
+    engine = _make_runner(jobs, use_cache, runner)
+    reports = engine.run(experiments)
+
+    rows = []
+    for strategy, report in zip(strategies, reports):
+        total_writes = int(report.extra["table2_total_writes"])
+        pages_zeroed = report.pages_zeroed
+        # Temporal zeroing defers its writes; the flush revealed them.
+        # The app's own stores (one per page) are subtracted so every
+        # column counts zeroing-attributable writes only.
+        if strategy == "temporal":
+            zeroing_writes = max(0, total_writes - pages)
+        else:
+            zeroing_writes = report.zeroing_memory_writes
+        l1_pollution = int(report.extra["cache_blocks_polluted"])
+        rows.append({
+            "mechanism": strategy,
+            "pages": pages_zeroed,
+            "memory_writes": zeroing_writes,
+            "immediate_writes": report.zeroing_memory_writes,
+            "memory_reads": int(report.extra["zeroing_memory_reads"]),
+            "cpu_busy_ns_per_page": (report.extra["zeroing_cpu_busy_ns"]
+                                     / max(pages_zeroed, 1)),
+            "latency_ns_per_page": (report.extra["zeroing_latency_ns"]
+                                    / max(pages_zeroed, 1)),
+            "cache_pollution_blocks": l1_pollution,
+            "no_cache_pollution": l1_pollution == 0,
+            "no_memory_writes": zeroing_writes == 0,
+            "no_memory_bus_writes": strategy in ("shred", "rowclone"),
+            "persistent": strategy not in ("temporal",),
+        })
+    return rows
 
 
 # ---------------------------------------------------------------------------
@@ -283,39 +356,30 @@ def table2_mechanisms(*, pages: int = 24,
 # ---------------------------------------------------------------------------
 
 def ablation_policies(*, pages: int = 8, shreds_per_page: int = 80,
-                      config: Optional[SystemConfig] = None) -> List[dict]:
+                      config: Optional[SystemConfig] = None,
+                      jobs: Optional[int] = None,
+                      use_cache: Optional[bool] = None,
+                      runner: Optional[Runner] = None) -> List[dict]:
     """Repeatedly shred and rewrite pages under each IV-manipulation
     option, recording re-encryption frequency and zero-read support."""
-    def build() -> List[dict]:
-        base_config = config if config is not None else bench_config()
-        cfg = replace(base_config.with_zeroing("shred"), functional=False)
-        rows = []
-        for policy_name in ("increment-minors", "increment-major",
-                            "major-reset-minors"):
-            system = System(cfg, shredder=True,
-                            policy=make_policy(policy_name),
-                            name=f"ablate-{policy_name}")
-            controller = system.machine.controller
-            page_size = cfg.kernel.page_size
-            for round_index in range(shreds_per_page):
-                for page in range(1, pages + 1):
-                    # Dirty one block then shred the page again (reuse).
-                    controller.store_block(page * page_size, None)
-                    system.machine.shred_register.write(
-                        page * page_size, kernel_mode=True)
-            zero_reads = 0
-            probes = 0
-            for page in range(1, pages + 1):
-                result = controller.fetch_block(page * page_size)
-                probes += 1
-                if result.zero_filled:
-                    zero_reads += 1
-            rows.append({
-                "policy": policy_name,
-                "shreds": controller.stats.shreds,
-                "reencryptions": controller.stats.reencryptions,
-                "reads_return_zero": zero_reads == probes,
-                "zero_read_fraction": zero_reads / probes,
-            })
-        return rows
-    return _memoised(("ablation", pages, shreds_per_page), build)
+    base_config = config if config is not None else bench_config()
+    cfg = replace(base_config.with_zeroing("shred"), functional=False)
+    policies = ("increment-minors", "increment-major", "major-reset-minors")
+    experiments = [
+        Experiment(workload="policy-ablation",
+                   params={"pages": pages,
+                           "shreds_per_page": shreds_per_page},
+                   config=cfg, shredder=True, policy=policy_name,
+                   name=f"ablate-{policy_name}")
+        for policy_name in policies
+    ]
+    engine = _make_runner(jobs, use_cache, runner)
+    reports = engine.run(experiments)
+    return [{
+        "policy": policy_name,
+        "shreds": report.shreds,
+        "reencryptions": int(report.extra["reencryptions"]),
+        "reads_return_zero": report.extra["zero_reads"]
+            == report.extra["probes"],
+        "zero_read_fraction": report.extra["zero_read_fraction"],
+    } for policy_name, report in zip(policies, reports)]

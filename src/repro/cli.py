@@ -24,7 +24,8 @@ from .analysis import (ablation_policies, fig12_counter_cache_sweep,
                        rows_to_csv, run_pair, table2_mechanisms)
 from .analysis.figures import fig8_to_11_study, study_summary
 from .config import bench_config, default_config
-from .workloads import SPEC_BENCHMARKS, multiprogrammed_tasks, powergraph_task
+from .exec import Runner, powergraph_experiment, spec_experiment
+from .workloads import SPEC_BENCHMARKS
 
 POWERGRAPH_NAMES = ("PAGERANK", "SIMPLE_COLORING", "KCORE")
 
@@ -50,19 +51,28 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cli_progress(done: int, total: int, label: str) -> None:
+    print(f"[{done}/{total}] {label}", file=sys.stderr, flush=True)
+
+
+def _make_runner(args: argparse.Namespace) -> Runner:
+    """The execution engine for a CLI invocation (--jobs / --no-cache)."""
+    progress = _cli_progress if args.jobs > 1 else None
+    return Runner(jobs=args.jobs, use_cache=not args.no_cache,
+                  progress=progress)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     name = args.benchmark.upper()
     if name in SPEC_BENCHMARKS:
-        def make_tasks():
-            return multiprogrammed_tasks(name, args.cores, scale=args.scale)
+        experiment = spec_experiment(name, cores=args.cores, scale=args.scale)
     elif name in POWERGRAPH_NAMES:
-        def make_tasks():
-            return [powergraph_task(name, num_nodes=args.nodes)]
+        experiment = powergraph_experiment(name, num_nodes=args.nodes)
     else:
         print(f"unknown benchmark {args.benchmark!r}; try list-benchmarks",
               file=sys.stderr)
         return 2
-    result = run_pair(name, make_tasks)
+    result = run_pair(experiment, runner=_make_runner(args))
     print(render_table([result.row()],
                        title=f"{name} — baseline vs Silent Shredder"))
     return 0
@@ -78,6 +88,7 @@ def _emit_rows(args: argparse.Namespace, rows, title: str) -> None:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     which = args.name.lower()
+    runner = _make_runner(args)
     if which == "fig4":
         sizes = [256 << 10, 512 << 10, 1 << 20, 2 << 20]
         rows = fig4_memset(sizes)
@@ -86,7 +97,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         rows = fig5_zeroing_writes(list(POWERGRAPH_NAMES), num_nodes=1200)
         _emit_rows(args, rows, "Figure 5 — zeroing writes")
     elif which in ("fig8", "fig9", "fig10", "fig11"):
-        results = fig8_to_11_study(scale=args.scale, cores=args.cores)
+        benchmarks = None
+        if args.benchmarks:
+            benchmarks = [name.strip().upper()
+                          for name in args.benchmarks.split(",") if name.strip()]
+        results = fig8_to_11_study(benchmarks=benchmarks, scale=args.scale,
+                                   cores=args.cores, runner=runner)
         column = {"fig8": ("write_savings_pct", "Figure 8 — write savings"),
                   "fig9": ("read_savings_pct", "Figure 9 — read savings"),
                   "fig10": ("read_speedup", "Figure 10 — read speedup"),
@@ -100,13 +116,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             print(f"{key}: {value:.2f}")
     elif which == "fig12":
         sizes = [2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10]
-        rows = fig12_counter_cache_sweep(sizes, scale=args.scale)
+        rows = fig12_counter_cache_sweep(sizes, scale=args.scale,
+                                         runner=runner)
         _emit_rows(args, rows, "Figure 12 — counter cache sweep")
     elif which == "table2":
-        rows = table2_mechanisms()
+        rows = table2_mechanisms(runner=runner)
         _emit_rows(args, rows, "Table 2 — mechanisms")
     elif which == "policies":
-        rows = ablation_policies()
+        rows = ablation_policies(runner=runner)
         _emit_rows(args, rows, "Shred-policy ablation (section 4.2)")
     else:
         print(f"unknown figure {args.name!r}; choose from {FIGURES}",
@@ -121,6 +138,22 @@ def _cmd_export_config(args: argparse.Namespace) -> int:
     save_config(config, args.path)
     print(f"config written to {args.path}")
     return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes for the experiment runner "
+                             "(default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not populate the persistent "
+                             "result cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--cores", type=int, default=2)
     compare.add_argument("--nodes", type=int, default=1500,
                          help="graph size for PowerGraph workloads")
+    _add_runner_flags(compare)
     compare.set_defaults(func=_cmd_compare)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
@@ -152,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", type=float, default=0.5)
     figure.add_argument("--cores", type=int, default=2)
     figure.add_argument("--csv", help="also write the rows as CSV")
+    figure.add_argument("--benchmarks",
+                        help="comma-separated subset for fig8-fig11 "
+                             "(default: the full SPEC + PowerGraph suite)")
+    _add_runner_flags(figure)
     figure.set_defaults(func=_cmd_figure)
 
     export = sub.add_parser("export-config",

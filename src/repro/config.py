@@ -325,6 +325,24 @@ NVM_TECHNOLOGIES: Dict[str, NVMConfig] = {
 }
 
 
+def config_digest(config: SystemConfig) -> str:
+    """Stable content hash of a configuration.
+
+    The digest is a SHA-256 over the canonical JSON form of the config
+    (the same representation :mod:`repro.serialization` persists), so it
+    is identical across processes and interpreter runs — unlike
+    ``hash()``, which is salted per process. The experiment result cache
+    keys on it.
+    """
+    import hashlib
+    import json
+
+    from .serialization import config_to_dict
+    payload = json.dumps(config_to_dict(config), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def default_config(**overrides: object) -> SystemConfig:
     """The paper's Table 1 configuration, optionally with field overrides."""
     return replace(SystemConfig(), **overrides) if overrides else SystemConfig()

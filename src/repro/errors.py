@@ -63,3 +63,8 @@ class CounterOverflowError(ReproError):
 
 class SimulationError(ReproError):
     """Generic full-system simulation error (inconsistent component state)."""
+
+
+class ExperimentError(ReproError):
+    """An :class:`~repro.exec.Experiment` is malformed or cannot be run
+    (unknown workload kind, unserialisable parameter, bad batch)."""

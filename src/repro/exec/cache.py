@@ -1,0 +1,221 @@
+"""Persistent, content-addressed cache of experiment results.
+
+Each entry is one JSON file named after the cache key — the SHA-256 of
+the experiment's content hash combined with a *code version salt* — so
+re-running an unchanged experiment against unchanged simulator code is
+a file read, while any change to the experiment spec or to the
+``repro`` sources silently invalidates every stale entry (the key
+simply never matches again).
+
+Layout, in priority order:
+
+* an explicit ``directory`` argument,
+* ``$REPRO_CACHE_DIR``,
+* a repo-local ``.repro-cache/`` when the working directory looks like
+  a checkout (has ``pyproject.toml`` or ``.git``),
+* ``$XDG_CACHE_HOME/repro`` (default ``~/.cache/repro``).
+
+Corrupted entries (truncated writes, malformed JSON, foreign files) are
+treated as misses and deleted; they never crash a run. Writes are
+atomic (tempfile + ``os.replace``) so parallel runners can share one
+directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from ..sim.system import SystemReport
+from .experiment import Experiment
+
+_FORMAT = 1
+
+_salt_cache: Optional[str] = None
+
+
+def code_version_salt() -> str:
+    """A digest of the installed ``repro`` sources (plus version).
+
+    Any edit to the simulator's Python files changes the salt, so cached
+    results can never outlive the code that produced them. Computed once
+    per process.
+    """
+    global _salt_cache
+    if _salt_cache is None:
+        from .. import __version__
+        digest = hashlib.sha256(__version__.encode("utf-8"))
+        package_root = Path(__file__).resolve().parent.parent
+        try:
+            sources = sorted(package_root.rglob("*.py"))
+            for source in sources:
+                digest.update(str(source.relative_to(package_root)).encode())
+                digest.update(source.read_bytes())
+        except OSError:
+            pass    # unreadable tree: fall back to the version alone
+        _salt_cache = digest.hexdigest()
+    return _salt_cache
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment (see module doc)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    cwd = Path.cwd()
+    if (cwd / "pyproject.toml").exists() or (cwd / ".git").exists():
+        return cwd / ".repro-cache"
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt_entries: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+class ResultCache:
+    """Two-layer (memory + disk) content-addressed result store."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None, *,
+                 salt: Optional[str] = None) -> None:
+        self.directory = Path(directory) if directory is not None \
+            else default_cache_dir()
+        self.salt = salt if salt is not None else code_version_salt()
+        self.stats = CacheStats()
+        self._memory: Dict[str, SystemReport] = {}
+
+    # -- keys ---------------------------------------------------------------------
+
+    def key(self, experiment: Experiment) -> str:
+        """Cache key: experiment content hash salted by the code version."""
+        payload = f"{experiment.content_hash()}:{self.salt}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path(self, experiment: Experiment) -> Path:
+        return self.directory / f"{self.key(experiment)}.json"
+
+    # -- lookup / store -----------------------------------------------------------
+
+    def get(self, experiment: Experiment) -> Optional[SystemReport]:
+        """The cached report, or ``None`` on miss (or corrupt entry)."""
+        key = self.key(experiment)
+        if key in self._memory:
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        path = self.directory / f"{key}.json"
+        try:
+            document = json.loads(path.read_text())
+            if document.get("format") != _FORMAT:
+                raise ValueError(f"unsupported cache format "
+                                 f"{document.get('format')!r}")
+            report = SystemReport.from_dict(document["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Malformed entry: drop it and fall back to re-running.
+            self.stats.corrupt_entries += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.disk_hits += 1
+        self._memory[key] = report
+        return report
+
+    def put(self, experiment: Experiment, report: SystemReport) -> None:
+        """Store a result in both layers (atomic on disk)."""
+        key = self.key(experiment)
+        self._memory[key] = report
+        self.directory.mkdir(parents=True, exist_ok=True)
+        document = {
+            "format": _FORMAT,
+            "salt": self.salt,
+            "experiment": experiment.to_dict(),
+            "result": report.to_dict(),
+        }
+        handle, temp_path = tempfile.mkstemp(dir=str(self.directory),
+                                             suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(document, stream, sort_keys=True)
+            os.replace(temp_path, self.directory / f"{key}.json")
+        except OSError:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # -- invalidation -------------------------------------------------------------
+
+    def invalidate(self, experiment: Optional[Experiment] = None) -> None:
+        """Drop one experiment's entry, or every entry when ``None``."""
+        if experiment is None:
+            self.clear()
+            return
+        self._memory.pop(self.key(experiment), None)
+        try:
+            self.path(experiment).unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        """Remove every entry from both layers."""
+        self.clear_memory()
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer only (disk entries survive)."""
+        self._memory.clear()
+
+    # -- introspection ------------------------------------------------------------
+
+    def _entry_paths(self) -> Iterator[Path]:
+        if not self.directory.is_dir():
+            return iter(())
+        return iter(sorted(self.directory.glob("*.json")))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def __contains__(self, experiment: Experiment) -> bool:
+        return (self.key(experiment) in self._memory
+                or self.path(experiment).exists())
+
+
+_default_cache: Optional[ResultCache] = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide shared cache (re-resolved if the target
+    directory changes, e.g. when ``$REPRO_CACHE_DIR`` is updated)."""
+    global _default_cache
+    directory = default_cache_dir()
+    if _default_cache is None or _default_cache.directory != directory:
+        _default_cache = ResultCache(directory)
+    return _default_cache

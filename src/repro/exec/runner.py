@@ -1,0 +1,161 @@
+"""The parallel experiment runner.
+
+A :class:`Runner` executes a batch of :class:`Experiment`s: it
+deduplicates the batch by content hash, serves whatever the persistent
+cache already holds, fans the remainder out across a ``multiprocessing``
+fork pool (or runs serially when ``jobs=1`` or the platform lacks
+``fork``), and stores fresh results back into the cache.
+
+Results cross the process boundary as ``SystemReport.to_dict()``
+payloads — and the serial path round-trips through the *same*
+serialization — so a batch produces byte-identical reports whatever the
+worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence)
+
+from ..errors import ExperimentError
+from ..sim.system import SystemReport
+from .cache import ResultCache, default_cache
+from .experiment import Experiment
+from .workloads import execute_experiment
+
+#: progress callback: (completed, total, experiment label)
+ProgressFn = Callable[[int, int, str], None]
+
+
+def _execute_to_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one serialized experiment.
+
+    Takes and returns plain dicts so the function behaves identically
+    under every ``multiprocessing`` start method and in-process.
+    """
+    experiment = Experiment.from_dict(payload)
+    return execute_experiment(experiment).to_dict()
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The fork start-method context, or ``None`` where unsupported."""
+    try:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return None
+        return multiprocessing.get_context("fork")
+    except ValueError:      # pragma: no cover - platform specific
+        return None
+
+
+class Runner:
+    """Executes experiment batches with caching and optional parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count. ``1`` (the default) runs in-process.
+    cache:
+        The :class:`ResultCache` to consult/populate; defaults to the
+        shared :func:`default_cache`. Ignored when ``use_cache`` is
+        false.
+    use_cache:
+        When false, every experiment re-runs and nothing is persisted.
+    progress:
+        Optional ``(completed, total, label)`` callback, invoked once
+        per unique experiment (cache hits included).
+    """
+
+    def __init__(self, jobs: int = 1, *, cache: Optional[ResultCache] = None,
+                 use_cache: bool = True,
+                 progress: Optional[ProgressFn] = None) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache: Optional[ResultCache] = None
+        if use_cache:
+            self.cache = cache if cache is not None else default_cache()
+        self.progress = progress
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, experiments: Iterable[Experiment]) -> List[SystemReport]:
+        """Execute a batch, returning one report per experiment, in order.
+
+        Duplicate experiments (same content hash) execute once and share
+        the resulting report object.
+        """
+        batch = list(experiments)
+        for experiment in batch:
+            if not isinstance(experiment, Experiment):
+                raise ExperimentError(
+                    f"Runner.run expects Experiment instances, "
+                    f"got {type(experiment).__name__}")
+        order = [experiment.content_hash() for experiment in batch]
+        unique: Dict[str, Experiment] = {}
+        for experiment, digest in zip(batch, order):
+            unique.setdefault(digest, experiment)
+
+        total = len(unique)
+        done = 0
+        results: Dict[str, SystemReport] = {}
+        pending: List[Experiment] = []
+        for digest, experiment in unique.items():
+            cached = self.cache.get(experiment) \
+                if self.cache is not None else None
+            if cached is not None:
+                results[digest] = cached
+                done += 1
+                self._report_progress(done, total, experiment)
+            else:
+                pending.append(experiment)
+
+        if pending:
+            executed = self._execute(pending)
+            try:
+                for experiment in pending:
+                    report = next(executed)
+                    results[experiment.content_hash()] = report
+                    if self.cache is not None:
+                        self.cache.put(experiment, report)
+                    done += 1
+                    self._report_progress(done, total, experiment)
+            finally:
+                executed.close()    # tear down the worker pool promptly
+
+        return [results[digest] for digest in order]
+
+    def run_one(self, experiment: Experiment) -> SystemReport:
+        """Convenience wrapper for a single experiment."""
+        return self.run([experiment])[0]
+
+    # -- internals ----------------------------------------------------------------
+
+    def _report_progress(self, done: int, total: int,
+                         experiment: Experiment) -> None:
+        if self.progress is not None:
+            self.progress(done, total, experiment.name or experiment.workload)
+
+    def _execute(self, pending: Sequence[Experiment]) -> Iterator[SystemReport]:
+        payloads = [experiment.to_dict() for experiment in pending]
+        jobs = min(self.jobs, len(payloads))
+        context = _fork_context() if jobs > 1 else None
+        if context is not None:
+            with context.Pool(processes=jobs) as pool:
+                for document in pool.imap(_execute_to_dict, payloads):
+                    yield SystemReport.from_dict(document)
+        else:
+            # Serial fallback: jobs=1, or no fork on this platform. Same
+            # dict round-trip as the pool path for bit-identical output.
+            for payload in payloads:
+                yield SystemReport.from_dict(_execute_to_dict(payload))
+
+
+def run_experiments(experiments: Iterable[Experiment], *, jobs: int = 1,
+                    use_cache: bool = True,
+                    cache: Optional[ResultCache] = None,
+                    progress: Optional[ProgressFn] = None) -> List[SystemReport]:
+    """One-shot form of :meth:`Runner.run`."""
+    runner = Runner(jobs=jobs, cache=cache, use_cache=use_cache,
+                    progress=progress)
+    return runner.run(experiments)

@@ -38,6 +38,33 @@ class RunResult:
             "relative_ipc": self.relative_ipc,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form that round-trips through :meth:`from_dict`."""
+        return {
+            "workload": self.workload,
+            "write_savings": self.write_savings,
+            "read_savings": self.read_savings,
+            "read_speedup": self.read_speedup,
+            "relative_ipc": self.relative_ipc,
+            "baseline": self.baseline.to_dict() if self.baseline else None,
+            "shredder": self.shredder.to_dict() if self.shredder else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a comparison from :meth:`to_dict` output."""
+        baseline = data.get("baseline")
+        shredder = data.get("shredder")
+        return cls(
+            workload=data["workload"],
+            write_savings=data["write_savings"],
+            read_savings=data["read_savings"],
+            read_speedup=data["read_speedup"],
+            relative_ipc=data["relative_ipc"],
+            baseline=SystemReport.from_dict(baseline) if baseline else None,
+            shredder=SystemReport.from_dict(shredder) if shredder else None,
+        )
+
 
 def compare_runs(baseline: SystemReport, shredder: SystemReport,
                  workload: str = "workload") -> RunResult:

@@ -54,6 +54,30 @@ class SystemReport:
         data.update(self.extra)
         return data
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form that round-trips through :meth:`from_dict`.
+
+        Unlike :meth:`as_dict` (which flattens ``extra`` for table
+        rendering), this keeps ``extra`` nested so reports can cross
+        process and disk boundaries losslessly.
+        """
+        data = {k: v for k, v in self.__dict__.items() if k != "extra"}
+        data["extra"] = dict(self.extra)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SystemReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Unknown keys are ignored so cache entries written by newer code
+        degrade gracefully instead of crashing older readers.
+        """
+        import dataclasses
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["extra"] = dict(kwargs.get("extra") or {})
+        return cls(**kwargs)
+
 
 class System:
     """A complete simulated machine with an OS and CPU cores."""
@@ -234,4 +258,7 @@ class System:
         report.extra["l4_miss_rate"] = self.machine.hierarchy.l4.stats.miss_rate
         report.extra["counter_cache_entries"] = float(
             len(self.machine.controller.counter_cache))
+        report.extra["counter_hits"] = float(ctl.counter_hits)
+        report.extra["counter_misses"] = float(ctl.counter_misses)
+        report.extra["reencryptions"] = float(ctl.reencryptions)
         return report

@@ -2,12 +2,27 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 
 import pytest
 
 from repro.config import (CacheConfig, CounterCacheConfig, CPUConfig, KB, MB,
                           NVMConfig, SystemConfig, fast_config)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def hermetic_result_cache(tmp_path_factory):
+    """Point the experiment runner's persistent result cache at a
+    throwaway directory so tests never read from (or leak into) the
+    developer's real cache."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -9,19 +9,19 @@ import pytest
 
 from repro.analysis import run_pair
 from repro.config import bench_config
-from repro.workloads import multiprogrammed_tasks, powergraph_task
+from repro.exec import powergraph_experiment, spec_experiment
 
 
 @pytest.fixture(scope="module")
 def gcc_pair():
-    return run_pair("GCC", lambda: multiprogrammed_tasks("GCC", 2, scale=0.4),
-                    bench_config())
+    return run_pair(spec_experiment("GCC", cores=2, scale=0.4,
+                                    config=bench_config()))
 
 
 @pytest.fixture(scope="module")
 def h264_pair():
-    return run_pair("H264", lambda: multiprogrammed_tasks("H264", 2, scale=0.4),
-                    bench_config())
+    return run_pair(spec_experiment("H264", cores=2, scale=0.4,
+                                    config=bench_config()))
 
 
 class TestWriteSavings:
@@ -74,9 +74,8 @@ class TestIPC:
 
 class TestPowerGraph:
     def test_graph_construction_savings(self):
-        result = run_pair("PAGERANK",
-                          lambda: [powergraph_task("PAGERANK", num_nodes=400)],
-                          bench_config())
+        result = run_pair(powergraph_experiment("PAGERANK", num_nodes=400,
+                                                config=bench_config()))
         assert result.write_savings > 0.3, \
             "graph construction is write-once: zeroing dominates writes"
         assert result.relative_ipc > 1.0
