@@ -28,7 +28,8 @@ from .config import (SystemConfig, CacheConfig, NVMConfig, DRAMConfig,
 from .errors import (ReproError, ConfigError, AddressError, AlignmentError,
                      OutOfMemoryError, PageFaultError, ProtectionError,
                      IntegrityError, EnduranceExceededError, CipherError,
-                     CounterOverflowError, SimulationError, ExperimentError)
+                     CounterOverflowError, SimulationError, ExperimentError,
+                     BackendError, WireProtocolError)
 from .core import (SilentShredderController, SecureMemoryController,
                    ShredRegister, CounterBlock, IVLayout, make_policy)
 from .sim import Machine, System, SystemReport, RunResult, compare_runs
@@ -36,11 +37,14 @@ from .sim import Machine, System, SystemReport, RunResult, compare_runs
 __version__ = "1.1.0"
 
 from .exec import (Experiment, Runner, ResultCache, run_experiments,
-                   spec_experiment, powergraph_experiment, experiment_pair)
+                   spec_experiment, powergraph_experiment, experiment_pair,
+                   ExecutionBackend, SerialBackend, ForkPoolBackend,
+                   DistributedBackend, ProgressEvent)
 
 __all__ = [
     "AddressError",
     "AlignmentError",
+    "BackendError",
     "CPUConfig",
     "CacheConfig",
     "CipherError",
@@ -50,9 +54,12 @@ __all__ = [
     "CounterOverflowError",
     "DRAMConfig",
     "EncryptionConfig",
+    "DistributedBackend",
     "EnduranceExceededError",
+    "ExecutionBackend",
     "Experiment",
     "ExperimentError",
+    "ForkPoolBackend",
     "IVLayout",
     "IntegrityError",
     "KernelConfig",
@@ -60,12 +67,14 @@ __all__ = [
     "NVMConfig",
     "OutOfMemoryError",
     "PageFaultError",
+    "ProgressEvent",
     "ProtectionError",
     "ReproError",
     "ResultCache",
     "RunResult",
     "Runner",
     "SecureMemoryController",
+    "SerialBackend",
     "ShredRegister",
     "SilentShredderController",
     "SimulationError",
@@ -82,5 +91,6 @@ __all__ = [
     "powergraph_experiment",
     "run_experiments",
     "spec_experiment",
+    "WireProtocolError",
     "__version__",
 ]

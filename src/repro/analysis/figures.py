@@ -13,11 +13,11 @@ drive bespoke measurement loops and keep a light per-process memo.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import SystemConfig, bench_config
+from ..errors import ExperimentError
 from ..exec import (Experiment, Runner, experiment_pair, powergraph_experiment,
                     spec_experiment)
 from ..exec.cache import default_cache
@@ -76,18 +76,18 @@ def run_pair(experiment, make_tasks: Optional[Callable[[], list]] = None,
 
     Pass an :class:`~repro.exec.Experiment` describing the workload;
     its baseline/shredder variants execute through the shared
-    :class:`~repro.exec.Runner` (cached, parallelisable). The old
-    ``run_pair(name, make_tasks, config)`` callable form still works
-    but is deprecated: an opaque callable cannot be hashed, so it
-    bypasses the cache and always runs serially in-process.
+    :class:`~repro.exec.Runner` (cached, parallelisable, any
+    backend). The pre-PR-1 ``run_pair(name, make_tasks, config)``
+    callable form was deprecated for one release and is now removed:
+    an opaque callable has no content hash, so it could never be
+    cached or shipped to a worker.
     """
     if make_tasks is not None or isinstance(experiment, str):
-        warnings.warn(
-            "run_pair(name, make_tasks, config) is deprecated; pass an "
-            "Experiment (e.g. repro.exec.spec_experiment(...)) to get "
-            "caching and parallel execution", DeprecationWarning,
-            stacklevel=2)
-        return _run_pair_legacy(experiment, make_tasks, config)
+        raise ExperimentError(
+            "run_pair(name, make_tasks, config) has been removed; build an "
+            "Experiment instead — e.g. run_pair(repro.exec.spec_experiment("
+            "'GCC', cores=2, scale=0.5)) — so the run can be cached, "
+            "parallelised, and dispatched to workers")
     if not isinstance(experiment, Experiment):
         raise TypeError(f"run_pair expects an Experiment, "
                         f"got {type(experiment).__name__}")
@@ -96,21 +96,6 @@ def run_pair(experiment, make_tasks: Optional[Callable[[], list]] = None,
     baseline_report, shredder_report = engine.run([baseline_exp, shredder_exp])
     return compare_runs(baseline_report, shredder_report,
                         experiment.name or experiment.workload)
-
-
-def _run_pair_legacy(name: str, make_tasks: Callable[[], list],
-                     config: Optional[SystemConfig]) -> RunResult:
-    """The pre-Experiment path: both systems from one base config."""
-    base_config = config if config is not None else bench_config()
-    baseline = System(base_config.with_zeroing("nontemporal"), shredder=False,
-                      name=f"{name}-baseline")
-    baseline.run(make_tasks())
-    baseline.machine.hierarchy.flush_all()
-    shredder = System(base_config.with_zeroing("shred"), shredder=True,
-                      name=f"{name}-shredder")
-    shredder.run(make_tasks())
-    shredder.machine.hierarchy.flush_all()
-    return compare_runs(baseline.report(), shredder.report(), name)
 
 
 # ---------------------------------------------------------------------------

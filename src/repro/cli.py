@@ -11,6 +11,10 @@ Commands
     print the four headline metrics.
 ``figure``
     Regenerate one of the paper's figures/tables and print its data.
+``worker serve``
+    Run a distributed experiment worker (TCP task server).
+``cache sweep``
+    Apply LRU size/age bounds to the persistent result cache.
 """
 
 from __future__ import annotations
@@ -24,7 +28,9 @@ from .analysis import (ablation_policies, fig12_counter_cache_sweep,
                        rows_to_csv, run_pair, table2_mechanisms)
 from .analysis.figures import fig8_to_11_study, study_summary
 from .config import bench_config, default_config
-from .exec import Runner, powergraph_experiment, spec_experiment
+from .errors import BackendError
+from .exec import (DistributedBackend, ProgressEvent, Runner,
+                   powergraph_experiment, spec_experiment)
 from .workloads import SPEC_BENCHMARKS
 
 POWERGRAPH_NAMES = ("PAGERANK", "SIMPLE_COLORING", "KCORE")
@@ -51,12 +57,26 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cli_progress(done: int, total: int, label: str) -> None:
-    print(f"[{done}/{total}] {label}", file=sys.stderr, flush=True)
+def _cli_progress(event: ProgressEvent) -> None:
+    suffix = "" if event.source == "worker" else f" ({event.source})"
+    print(f"[{event.completed}/{event.total}] {event.label}{suffix}",
+          file=sys.stderr, flush=True)
 
 
 def _make_runner(args: argparse.Namespace) -> Runner:
-    """The execution engine for a CLI invocation (--jobs / --no-cache)."""
+    """The execution engine for a CLI invocation.
+
+    ``--workers host:port,...`` selects the distributed backend;
+    otherwise ``--jobs`` picks serial or a local fork pool.
+    """
+    workers = getattr(args, "workers", None)
+    if workers:
+        addresses = [part.strip() for part in workers.split(",")
+                     if part.strip()]
+        backend = DistributedBackend(addresses,
+                                     task_timeout=args.task_timeout)
+        return Runner(backend=backend, use_cache=not args.no_cache,
+                      progress=_cli_progress)
     progress = _cli_progress if args.jobs > 1 else None
     return Runner(jobs=args.jobs, use_cache=not args.no_cache,
                   progress=progress)
@@ -132,6 +152,46 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker_serve(args: argparse.Namespace) -> int:
+    from .exec.worker import serve
+    served = serve(args.host, args.port, max_tasks=args.max_tasks,
+                   announce=lambda endpoint: print(
+                       f"repro worker listening on {endpoint}", flush=True))
+    print(f"worker stopped after {served} tasks", file=sys.stderr)
+    return 0
+
+
+def _parse_size(text: str) -> int:
+    """``'512'``, ``'64K'``, ``'100M'``, ``'2G'`` → bytes."""
+    suffixes = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    cleaned = text.strip().upper()
+    factor = 1
+    if cleaned and cleaned[-1] in suffixes:
+        factor = suffixes[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = int(cleaned) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r}; use an integer with optional K/M/G suffix")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be >= 0, got {text!r}")
+    return value
+
+
+def _cmd_cache_sweep(args: argparse.Namespace) -> int:
+    from .exec import ResultCache, default_cache
+    if args.max_bytes is None and args.max_age_days is None:
+        print("cache sweep needs --max-bytes and/or --max-age-days",
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(args.dir) if args.dir else default_cache()
+    result = cache.sweep(max_bytes=args.max_bytes,
+                         max_age_days=args.max_age_days)
+    print(f"{cache.directory}: {result.describe()}")
+    return 0
+
+
 def _cmd_export_config(args: argparse.Namespace) -> int:
     from .serialization import save_config
     config = default_config() if args.full else bench_config()
@@ -154,6 +214,14 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not populate the persistent "
                              "result cache")
+    parser.add_argument("--workers", metavar="HOST:PORT[,HOST:PORT...]",
+                        help="dispatch to remote 'repro worker serve' "
+                             "endpoints instead of local processes "
+                             "(overrides --jobs)")
+    parser.add_argument("--task-timeout", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="per-task timeout for --workers dispatch "
+                             "(default: 300)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,13 +267,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="the full-size Table 1 system")
     export.set_defaults(func=_cmd_export_config)
 
+    worker = sub.add_parser("worker", help="distributed execution workers")
+    worker_sub = worker.add_subparsers(dest="worker_command", required=True)
+    serve = worker_sub.add_parser(
+        "serve", help="run a TCP experiment worker on this machine")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default: 0, OS-assigned; the "
+                            "bound endpoint is printed on startup)")
+    serve.add_argument("--max-tasks", type=_positive_int, default=None,
+                       metavar="N",
+                       help="exit after serving N tasks (default: forever)")
+    serve.set_defaults(func=_cmd_worker_serve)
+
+    cache = sub.add_parser("cache", help="persistent result cache upkeep")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    sweep = cache_sub.add_parser(
+        "sweep", help="LRU-evict entries past size/age bounds")
+    sweep.add_argument("--max-bytes", type=_parse_size, default=None,
+                       metavar="SIZE",
+                       help="keep at most SIZE bytes of newest entries "
+                            "(accepts K/M/G suffixes)")
+    sweep.add_argument("--max-age-days", type=float, default=None,
+                       metavar="DAYS",
+                       help="drop entries older than DAYS")
+    sweep.add_argument("--dir", default=None,
+                       help="cache directory (default: the resolved "
+                            "shared cache)")
+    sweep.set_defaults(func=_cmd_cache_sweep)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BackendError as error:
+        # Distributed failures (dead workers, exhausted retries) are
+        # operational, not bugs: report and exit instead of tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":       # pragma: no cover

@@ -68,3 +68,19 @@ class SimulationError(ReproError):
 class ExperimentError(ReproError):
     """An :class:`~repro.exec.Experiment` is malformed or cannot be run
     (unknown workload kind, unserialisable parameter, bad batch)."""
+
+
+class BackendError(ExperimentError):
+    """An execution backend could not complete a batch.
+
+    Raised when a distributed dispatch exhausts its retry budget for a
+    task, when every worker has been declared dead with work still
+    outstanding, or when a backend is misconfigured. Subclasses
+    :class:`ExperimentError` so callers of :meth:`~repro.exec.Runner.run`
+    keep a single exception family to catch.
+    """
+
+
+class WireProtocolError(BackendError):
+    """A malformed, truncated, or oversized frame on the worker wire
+    protocol (see :mod:`repro.exec.wire`)."""

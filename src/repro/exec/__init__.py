@@ -1,15 +1,22 @@
-"""Execution engine: experiment specs, parallel runner, result cache.
+"""Execution engine: experiment specs, pluggable backends, result cache.
 
 The public surface for running sweeps:
 
 * :class:`Experiment` — a frozen, hashable description of one run
   (workload + parameters, :class:`~repro.config.SystemConfig`, shred
   policy, seed) with a stable cross-process content hash.
-* :class:`Runner` / :func:`run_experiments` — execute batches across a
-  ``multiprocessing`` pool with a graceful serial fallback.
+* :class:`Runner` / :func:`run_experiments` — batch orchestration:
+  dedupe, cache consultation, progress. Execution itself goes through
+  an :class:`ExecutionBackend`:
+  :class:`SerialBackend` (in-process),
+  :class:`ForkPoolBackend` (``multiprocessing`` fork pool), or
+  :class:`DistributedBackend` (remote TCP workers started with
+  ``python -m repro worker serve``, fault-tolerant dispatch).
 * :class:`ResultCache` — persistent content-addressed store keyed by
   experiment hash + code version salt, so warm reruns never touch the
-  simulator.
+  simulator; ``sweep(max_bytes=, max_age_days=)`` applies LRU bounds.
+* :class:`ProgressEvent` — structured progress notifications
+  (``completed``, ``total``, ``label``, ``source``).
 
 Example::
 
@@ -17,28 +24,50 @@ Example::
 
     baseline, shredder = experiment_pair(spec_experiment("GCC", scale=0.5))
     reports = run_experiments([baseline, shredder], jobs=2)
+
+    # ... or across machines:
+    from repro.exec import DistributedBackend, Runner
+    backend = DistributedBackend(["nvm-box-1:7070", "nvm-box-2:7070"])
+    reports = Runner(backend=backend).run([baseline, shredder])
 """
 
-from .cache import (CacheStats, ResultCache, code_version_salt, default_cache,
-                    default_cache_dir)
+from .backends import (DistributedBackend, ExecutionBackend, ForkPoolBackend,
+                       SerialBackend, parse_address, resolve_backend)
+from .cache import (CacheStats, ResultCache, SweepResult, code_version_salt,
+                    default_cache, default_cache_dir)
 from .experiment import (Experiment, experiment_pair, powergraph_experiment,
                          spec_experiment)
-from .runner import Runner, run_experiments
+from .runner import ProgressEvent, Runner, run_experiments
+from .worker import (LocalWorker, WorkerServer, local_worker_pool,
+                     spawn_local_workers, worker_addresses)
 from .workloads import execute_experiment, register_workload, workload_kinds
 
 __all__ = [
     "CacheStats",
+    "DistributedBackend",
+    "ExecutionBackend",
     "Experiment",
+    "ForkPoolBackend",
+    "LocalWorker",
+    "ProgressEvent",
     "ResultCache",
     "Runner",
+    "SerialBackend",
+    "SweepResult",
+    "WorkerServer",
     "code_version_salt",
     "default_cache",
     "default_cache_dir",
     "execute_experiment",
     "experiment_pair",
+    "local_worker_pool",
+    "parse_address",
     "powergraph_experiment",
     "register_workload",
+    "resolve_backend",
     "run_experiments",
+    "spawn_local_workers",
     "spec_experiment",
+    "worker_addresses",
     "workload_kinds",
 ]

@@ -1,0 +1,409 @@
+"""Pluggable execution backends for the experiment runner.
+
+A backend is the *how* of batch execution: given a sequence of
+:class:`~repro.exec.Experiment`\\ s it produces one
+:class:`~repro.sim.system.SystemReport` per experiment. Everything
+else — deduplication, cache consultation, persistence, progress —
+stays in :class:`~repro.exec.Runner`, so every backend gets those for
+free and swapping backends cannot change *what* a batch means.
+
+The contract (:class:`ExecutionBackend`) is a single generator method::
+
+    submit(experiments, notify=None) -> iterator of (index, report)
+
+yielding ``(index, SystemReport)`` pairs as results complete, in any
+order (``index`` is the position within the submitted batch). Yielding
+instead of returning lets the runner store results into the persistent
+cache and emit progress the moment each one lands, even when a remote
+worker finishes out of order. ``notify(label, source)`` is an optional
+hook for non-completion events — currently only ``"retry"``, emitted
+by the distributed dispatcher when a task is re-queued.
+
+Every backend round-trips results through ``SystemReport.to_dict()``
+— including the in-process :class:`SerialBackend` — so a batch
+produces byte-identical reports whatever executes it.
+
+Implementations:
+
+* :class:`SerialBackend` — in-process, in-order; the reference
+  semantics.
+* :class:`ForkPoolBackend` — a ``multiprocessing`` fork pool
+  (extracted from the original ``Runner`` internals); falls back to
+  serial where ``fork`` is unavailable.
+* :class:`DistributedBackend` — ships experiments to TCP workers
+  (``python -m repro worker serve``) over the length-prefixed JSON
+  protocol in :mod:`repro.exec.wire`, with per-task timeouts, bounded
+  retry with exponential backoff, per-worker health tracking, and
+  automatic re-queue of tasks stranded on dead workers.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import queue
+import socket
+import threading
+import time
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
+
+from ..errors import BackendError, WireProtocolError
+from ..sim.system import SystemReport
+from .experiment import Experiment
+from .wire import (MSG_ERROR, MSG_RESULT, recv_message, run_request,
+                   send_message)
+from .workloads import execute_experiment
+
+#: non-completion event hook: (experiment label, event source)
+NotifyFn = Callable[[str, str], None]
+
+#: a worker endpoint: ("host", port) or a "host:port" string
+Address = Union[Tuple[str, int], str]
+
+
+def _execute_to_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one serialized experiment.
+
+    Takes and returns plain dicts so the function behaves identically
+    under every ``multiprocessing`` start method, over the wire, and
+    in-process.
+    """
+    experiment = Experiment.from_dict(payload)
+    return execute_experiment(experiment).to_dict()
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The fork start-method context, or ``None`` where unsupported."""
+    try:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return None
+        return multiprocessing.get_context("fork")
+    except ValueError:      # pragma: no cover - platform specific
+        return None
+
+
+class ExecutionBackend(abc.ABC):
+    """The strategy interface :class:`~repro.exec.Runner` executes through."""
+
+    @abc.abstractmethod
+    def submit(self, experiments: Sequence[Experiment], *,
+               notify: Optional[NotifyFn] = None,
+               ) -> Iterator[Tuple[int, SystemReport]]:
+        """Execute a batch, yielding ``(index, report)`` as results land.
+
+        ``index`` is the experiment's position in ``experiments``;
+        pairs may arrive in any order but each index appears exactly
+        once. Implementations must raise (not swallow) when a task
+        cannot be completed, and must release their resources when the
+        generator is closed early.
+        """
+
+    def describe(self) -> str:
+        """A short human-readable label for logs and CLI output."""
+        return type(self).__name__
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, in-order execution — the reference backend.
+
+    Results still round-trip through ``to_dict`` so serial output is
+    byte-identical to every other backend's.
+    """
+
+    def submit(self, experiments: Sequence[Experiment], *,
+               notify: Optional[NotifyFn] = None,
+               ) -> Iterator[Tuple[int, SystemReport]]:
+        for index, experiment in enumerate(experiments):
+            document = _execute_to_dict(experiment.to_dict())
+            yield index, SystemReport.from_dict(document)
+
+    def describe(self) -> str:
+        return "serial"
+
+
+class ForkPoolBackend(ExecutionBackend):
+    """A ``multiprocessing`` fork pool of ``jobs`` worker processes.
+
+    Where the platform lacks the ``fork`` start method (or the batch
+    needs at most one worker) it degrades to serial in-process
+    execution — same results either way.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise BackendError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+
+    def submit(self, experiments: Sequence[Experiment], *,
+               notify: Optional[NotifyFn] = None,
+               ) -> Iterator[Tuple[int, SystemReport]]:
+        payloads = [experiment.to_dict() for experiment in experiments]
+        jobs = min(self.jobs, len(payloads))
+        context = _fork_context() if jobs > 1 else None
+        if context is None:
+            # Serial fallback: one job, or no fork on this platform.
+            for index, payload in enumerate(payloads):
+                yield index, SystemReport.from_dict(_execute_to_dict(payload))
+            return
+        with context.Pool(processes=jobs) as pool:
+            documents = pool.imap(_execute_to_dict, payloads)
+            for index, document in enumerate(documents):
+                yield index, SystemReport.from_dict(document)
+
+    def describe(self) -> str:
+        return f"fork-pool({self.jobs})"
+
+
+# ---------------------------------------------------------------------------
+# The distributed dispatcher
+# ---------------------------------------------------------------------------
+
+def parse_address(value: Address) -> Tuple[str, int]:
+    """Normalise ``"host:port"`` / ``("host", port)`` to a tuple."""
+    if isinstance(value, str):
+        host, separator, port_text = value.rpartition(":")
+        if not separator or not host:
+            raise BackendError(
+                f"worker address must look like 'host:port', got {value!r}")
+        try:
+            return host, int(port_text)
+        except ValueError:
+            raise BackendError(f"bad worker port in address {value!r}")
+    host, port = value
+    return str(host), int(port)
+
+
+class _Task:
+    """One unit of dispatch: a serialized experiment plus retry state."""
+
+    __slots__ = ("index", "payload", "label", "attempts")
+
+    def __init__(self, index: int, payload: Dict[str, Any], label: str) -> None:
+        self.index = index
+        self.payload = payload
+        self.label = label
+        self.attempts = 0       # failed attempts charged to the task
+
+
+class _WorkerState:
+    """Health bookkeeping for one remote worker endpoint."""
+
+    __slots__ = ("address", "consecutive_failures", "alive", "completed")
+
+    def __init__(self, address: Tuple[str, int]) -> None:
+        self.address = address
+        self.consecutive_failures = 0
+        self.alive = True
+        self.completed = 0
+
+
+class _WorkerDown(Exception):
+    """The worker endpoint failed (connect refused, reset mid-task).
+
+    Charged to the *worker's* health, not the task's retry budget: the
+    task is requeued for the surviving workers.
+    """
+
+
+class _TaskFailed(Exception):
+    """The task attempt itself failed (timeout or an error reply)."""
+
+
+class DistributedBackend(ExecutionBackend):
+    """Dispatch experiments to remote TCP workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker endpoints: ``("host", port)`` tuples or ``"host:port"``
+        strings. One dispatcher thread drives each endpoint.
+    task_timeout:
+        Seconds to wait for one task's result before charging the
+        attempt against the task's retry budget.
+    max_retries:
+        Failed attempts (timeouts, error replies) a task survives
+        before the whole batch fails with :class:`BackendError` naming
+        the experiment.
+    backoff_base / backoff_cap:
+        Exponential backoff between a task's retries:
+        ``min(cap, base * 2**(attempts-1))`` seconds.
+    connect_timeout:
+        Seconds to wait for a TCP connection to a worker.
+    max_worker_failures:
+        Consecutive endpoint failures (refused connections, resets)
+        before a worker is declared dead and its tasks re-queued for
+        the survivors. When every worker is dead with work still
+        outstanding the batch fails.
+    """
+
+    def __init__(self, workers: Sequence[Address], *,
+                 task_timeout: float = 300.0,
+                 max_retries: int = 3,
+                 backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 connect_timeout: float = 5.0,
+                 max_worker_failures: int = 3) -> None:
+        addresses = [parse_address(worker) for worker in workers]
+        if not addresses:
+            raise BackendError("DistributedBackend needs at least one worker")
+        self.addresses = addresses
+        self.task_timeout = float(task_timeout)
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.connect_timeout = float(connect_timeout)
+        self.max_worker_failures = int(max_worker_failures)
+
+    def describe(self) -> str:
+        endpoints = ",".join(f"{host}:{port}" for host, port in self.addresses)
+        return f"distributed({endpoints})"
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def submit(self, experiments: Sequence[Experiment], *,
+               notify: Optional[NotifyFn] = None,
+               ) -> Iterator[Tuple[int, SystemReport]]:
+        total = len(experiments)
+        if not total:
+            return
+        tasks: "queue.Queue[_Task]" = queue.Queue()
+        for index, experiment in enumerate(experiments):
+            label = experiment.name or experiment.workload
+            tasks.put(_Task(index, experiment.to_dict(), label))
+
+        results: "queue.Queue[Tuple[str, Any, Any]]" = queue.Queue()
+        stop = threading.Event()
+        states = [_WorkerState(address) for address in self.addresses]
+        threads = [
+            threading.Thread(target=self._drive_worker, name=f"repro-dispatch-{i}",
+                             args=(state, tasks, results, stop, notify),
+                             daemon=True)
+            for i, state in enumerate(states)
+        ]
+        for thread in threads:
+            thread.start()
+
+        delivered = 0
+        seen = set()
+        try:
+            while delivered < total:
+                try:
+                    kind, first, second = results.get(timeout=0.1)
+                except queue.Empty:
+                    if not any(thread.is_alive() for thread in threads):
+                        outstanding = total - delivered
+                        raise BackendError(
+                            f"all {len(states)} workers died with "
+                            f"{outstanding} tasks outstanding "
+                            f"(endpoints: {self.describe()})")
+                    continue
+                if kind == "fatal":
+                    raise first
+                index, document = first, second
+                if index in seen:       # pragma: no cover - defensive
+                    continue
+                seen.add(index)
+                delivered += 1
+                yield index, SystemReport.from_dict(document)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+    def _drive_worker(self, state: _WorkerState, tasks: "queue.Queue[_Task]",
+                      results: "queue.Queue[Tuple[str, Any, Any]]",
+                      stop: threading.Event,
+                      notify: Optional[NotifyFn]) -> None:
+        while not stop.is_set():
+            try:
+                task = tasks.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            try:
+                document = self._dispatch(state.address, task.payload)
+            except _WorkerDown as error:
+                # The endpoint's fault: requeue for the survivors,
+                # charge the worker's health, not the task.
+                tasks.put(task)
+                if notify is not None:
+                    notify(task.label, "retry")
+                state.consecutive_failures += 1
+                if state.consecutive_failures >= self.max_worker_failures:
+                    state.alive = False
+                    return
+                time.sleep(self._backoff(state.consecutive_failures))
+            except _TaskFailed as error:
+                task.attempts += 1
+                if task.attempts > self.max_retries:
+                    results.put(("fatal", BackendError(
+                        f"experiment {task.label!r} failed after "
+                        f"{task.attempts} attempts "
+                        f"(last worker {state.address[0]}:{state.address[1]}): "
+                        f"{error}"), None))
+                    return
+                if notify is not None:
+                    notify(task.label, "retry")
+                time.sleep(self._backoff(task.attempts))
+                tasks.put(task)
+            else:
+                state.consecutive_failures = 0
+                state.completed += 1
+                results.put(("result", task.index, document))
+
+    def _backoff(self, attempts: int) -> float:
+        return min(self.backoff_cap,
+                   self.backoff_base * (2 ** max(attempts - 1, 0)))
+
+    def _dispatch(self, address: Tuple[str, int],
+                  payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one task on one worker; raise a classified failure."""
+        try:
+            sock = socket.create_connection(address,
+                                            timeout=self.connect_timeout)
+        except OSError as error:
+            raise _WorkerDown(f"connect failed: {error}")
+        try:
+            sock.settimeout(self.task_timeout)
+            try:
+                send_message(sock, run_request(payload))
+                reply = recv_message(sock)
+            except socket.timeout:
+                raise _TaskFailed(
+                    f"no result within {self.task_timeout:g}s")
+            except (OSError, WireProtocolError) as error:
+                # Connection reset / truncated frame: the worker died
+                # (or went insane) mid-task.
+                raise _WorkerDown(f"connection lost mid-task: {error}")
+        finally:
+            sock.close()
+        if reply.get("type") == MSG_RESULT and "result" in reply:
+            return reply["result"]
+        if reply.get("type") == MSG_ERROR:
+            raise _TaskFailed(
+                f"{reply.get('kind', 'Error')}: {reply.get('error', '?')}")
+        raise _TaskFailed(f"unexpected reply type {reply.get('type')!r}")
+
+
+def resolve_backend(jobs: int = 1,
+                    backend: Optional[ExecutionBackend] = None,
+                    ) -> ExecutionBackend:
+    """The backend a ``Runner(jobs=..., backend=...)`` call means.
+
+    An explicit ``backend`` wins (and is incompatible with ``jobs >
+    1`` — the two would contradict each other); otherwise ``jobs``
+    picks serial or a fork pool, preserving the original ``Runner``
+    behaviour.
+    """
+    if backend is not None:
+        if not isinstance(backend, ExecutionBackend):
+            raise BackendError(
+                f"backend must be an ExecutionBackend, "
+                f"got {type(backend).__name__}")
+        if jobs != 1:
+            raise BackendError(
+                "pass either jobs=N or backend=..., not both")
+        return backend
+    if jobs < 1:
+        raise BackendError(f"jobs must be >= 1, got {jobs}")
+    return SerialBackend() if jobs == 1 else ForkPoolBackend(jobs)

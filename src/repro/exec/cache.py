@@ -76,6 +76,22 @@ def default_cache_dir() -> Path:
 
 
 @dataclass
+class SweepResult:
+    """Outcome of one :meth:`ResultCache.sweep` pass."""
+
+    examined: int = 0
+    removed: int = 0
+    kept: int = 0
+    bytes_removed: int = 0
+    bytes_kept: int = 0
+
+    def describe(self) -> str:
+        return (f"swept {self.removed} of {self.examined} entries "
+                f"({self.bytes_removed} bytes freed, "
+                f"{self.kept} entries / {self.bytes_kept} bytes kept)")
+
+
+@dataclass
 class CacheStats:
     """Hit/miss accounting for one :class:`ResultCache` instance."""
 
@@ -192,6 +208,57 @@ class ResultCache:
     def clear_memory(self) -> None:
         """Drop the in-process layer only (disk entries survive)."""
         self._memory.clear()
+
+    def sweep(self, *, max_bytes: Optional[int] = None,
+              max_age_days: Optional[float] = None,
+              now: Optional[float] = None) -> SweepResult:
+        """LRU eviction: bound the on-disk store by size and/or age.
+
+        Entries are ranked by file mtime (a disk hit is not a touch —
+        mtime tracks *production* time, which for deterministic
+        experiment results is the honest recency signal). Newest
+        entries are kept while the running total stays within
+        ``max_bytes`` and the entry is younger than ``max_age_days``;
+        everything older/larger is deleted from both layers. With no
+        bounds given the sweep only reports sizes.
+
+        Returns a :class:`SweepResult`; racing deletions by concurrent
+        runners are tolerated.
+        """
+        import time as _time
+        reference = _time.time() if now is None else float(now)
+        cutoff = None if max_age_days is None \
+            else reference - float(max_age_days) * 86400.0
+        entries = []
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue        # raced with another process: skip
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda entry: entry[0], reverse=True)
+
+        result = SweepResult(examined=len(entries))
+        kept_bytes = 0
+        for mtime, size, path in entries:
+            keep = True
+            if cutoff is not None and mtime < cutoff:
+                keep = False
+            if max_bytes is not None and kept_bytes + size > max_bytes:
+                keep = False
+            if keep:
+                kept_bytes += size
+                result.kept += 1
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue        # already gone: someone else swept it
+            self._memory.pop(path.stem, None)
+            result.removed += 1
+            result.bytes_removed += size
+        result.bytes_kept = kept_bytes
+        return result
 
     # -- introspection ------------------------------------------------------------
 

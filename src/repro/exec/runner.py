@@ -1,60 +1,130 @@
-"""The parallel experiment runner.
+"""The experiment runner: batch orchestration over pluggable backends.
 
-A :class:`Runner` executes a batch of :class:`Experiment`s: it
+A :class:`Runner` executes a batch of :class:`Experiment`\\ s: it
 deduplicates the batch by content hash, serves whatever the persistent
-cache already holds, fans the remainder out across a ``multiprocessing``
-fork pool (or runs serially when ``jobs=1`` or the platform lacks
-``fork``), and stores fresh results back into the cache.
+cache already holds, hands the remainder to an
+:class:`~repro.exec.backends.ExecutionBackend` (serial, fork pool, or
+distributed TCP workers), and stores fresh results back into the
+cache. Cache consultation lives *here*, above the backend seam, so
+every backend gets dedupe and persistence for free.
 
-Results cross the process boundary as ``SystemReport.to_dict()``
-payloads — and the serial path round-trips through the *same*
-serialization — so a batch produces byte-identical reports whatever the
-worker count.
+Results cross every execution boundary as ``SystemReport.to_dict()``
+payloads — including the in-process serial path — so a batch produces
+byte-identical reports whatever backend runs it.
+
+Progress is reported through :class:`ProgressEvent` values carrying
+``completed``, ``total``, ``label`` and a ``source`` telling where the
+event came from (``"cache"`` hit, ``"worker"`` completion, or a
+distributed ``"retry"``). Legacy three-argument ``(completed, total,
+label)`` callbacks are still accepted through a deprecation shim.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
-                    Sequence)
+import inspect
+import warnings
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Union)
 
 from ..errors import ExperimentError
 from ..sim.system import SystemReport
+from .backends import (ExecutionBackend, _execute_to_dict, _fork_context,
+                       resolve_backend)
 from .cache import ResultCache, default_cache
 from .experiment import Experiment
-from .workloads import execute_experiment
 
-#: progress callback: (completed, total, experiment label)
+#: legacy progress callback: (completed, total, experiment label)
 ProgressFn = Callable[[int, int, str], None]
 
+#: where a progress event originated
+PROGRESS_SOURCES = ("cache", "worker", "retry")
 
-def _execute_to_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: run one serialized experiment.
 
-    Takes and returns plain dicts so the function behaves identically
-    under every ``multiprocessing`` start method and in-process.
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress notification from a :class:`Runner` batch.
+
+    ``completed``/``total`` count *unique* experiments (duplicates in
+    the submitted batch collapse to one). ``source`` is ``"cache"``
+    when the result came from the persistent cache, ``"worker"`` when
+    a backend finished executing it, and ``"retry"`` when a
+    distributed dispatcher re-queued the task — retry events do not
+    advance ``completed``.
     """
-    experiment = Experiment.from_dict(payload)
-    return execute_experiment(experiment).to_dict()
+
+    completed: int
+    total: int
+    label: str
+    source: str = "worker"
+
+    def __post_init__(self) -> None:
+        if self.source not in PROGRESS_SOURCES:
+            raise ExperimentError(
+                f"unknown progress source {self.source!r}; "
+                f"expected one of {PROGRESS_SOURCES}")
 
 
-def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
-    """The fork start-method context, or ``None`` where unsupported."""
-    try:
-        if "fork" not in multiprocessing.get_all_start_methods():
-            return None
-        return multiprocessing.get_context("fork")
-    except ValueError:      # pragma: no cover - platform specific
+#: new-style progress callback: one ProgressEvent argument
+ProgressEventFn = Callable[[ProgressEvent], None]
+
+
+def _coerce_progress(progress: Optional[Union[ProgressEventFn, ProgressFn]],
+                     ) -> Optional[ProgressEventFn]:
+    """Accept both callback generations, shimming the legacy one.
+
+    A callable taking one positional argument is treated as the
+    new-style :class:`ProgressEvent` consumer; one taking three is the
+    deprecated ``(completed, total, label)`` form and gets adapted
+    (with a ``DeprecationWarning``). Anything else is rejected
+    eagerly, before a batch burns simulation time.
+    """
+    if progress is None:
         return None
+    try:
+        signature = inspect.signature(progress)
+        required = [
+            parameter for parameter in signature.parameters.values()
+            if parameter.kind in (parameter.POSITIONAL_ONLY,
+                                  parameter.POSITIONAL_OR_KEYWORD)
+            and parameter.default is parameter.empty
+        ]
+        has_var_positional = any(
+            parameter.kind == parameter.VAR_POSITIONAL
+            for parameter in signature.parameters.values())
+        arity = len(required)
+    except (TypeError, ValueError):     # builtins without signatures
+        return progress     # assume new-style; it will fail loudly if not
+    if arity == 1 or (arity < 1 and has_var_positional):
+        return progress
+    if arity == 3:
+        warnings.warn(
+            "three-argument progress callbacks (completed, total, label) "
+            "are deprecated; take a single repro.exec.ProgressEvent "
+            "instead (it adds .source)", DeprecationWarning, stacklevel=3)
+
+        def shim(event: ProgressEvent, _legacy: ProgressFn = progress) -> None:
+            _legacy(event.completed, event.total, event.label)
+
+        return shim
+    raise ExperimentError(
+        f"progress callback must take 1 argument (ProgressEvent) or the "
+        f"legacy 3 (completed, total, label); {progress!r} takes {arity}")
 
 
 class Runner:
-    """Executes experiment batches with caching and optional parallelism.
+    """Executes experiment batches with caching over a pluggable backend.
 
     Parameters
     ----------
     jobs:
-        Worker process count. ``1`` (the default) runs in-process.
+        Worker process count. ``1`` (the default) runs in-process;
+        ``N > 1`` uses a local fork pool. Shorthand for the matching
+        ``backend``.
+    backend:
+        An explicit :class:`~repro.exec.ExecutionBackend` (e.g.
+        :class:`~repro.exec.DistributedBackend`). Mutually exclusive
+        with ``jobs > 1``.
     cache:
         The :class:`ResultCache` to consult/populate; defaults to the
         shared :func:`default_cache`. Ignored when ``use_cache`` is
@@ -62,20 +132,25 @@ class Runner:
     use_cache:
         When false, every experiment re-runs and nothing is persisted.
     progress:
-        Optional ``(completed, total, label)`` callback, invoked once
-        per unique experiment (cache hits included).
+        Optional callback receiving :class:`ProgressEvent` values.
+        Completion events (``"cache"``/``"worker"``) fire once per
+        unique experiment; ``"retry"`` events may fire any number of
+        times. Legacy ``(completed, total, label)`` callables are
+        adapted with a ``DeprecationWarning``.
     """
 
-    def __init__(self, jobs: int = 1, *, cache: Optional[ResultCache] = None,
+    def __init__(self, jobs: int = 1, *,
+                 backend: Optional[ExecutionBackend] = None,
+                 cache: Optional[ResultCache] = None,
                  use_cache: bool = True,
-                 progress: Optional[ProgressFn] = None) -> None:
-        if jobs < 1:
-            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+                 progress: Optional[Union[ProgressEventFn,
+                                          ProgressFn]] = None) -> None:
+        self.backend = resolve_backend(jobs, backend)
         self.jobs = int(jobs)
         self.cache: Optional[ResultCache] = None
         if use_cache:
             self.cache = cache if cache is not None else default_cache()
-        self.progress = progress
+        self.progress = _coerce_progress(progress)
 
     # -- public API ---------------------------------------------------------------
 
@@ -96,8 +171,8 @@ class Runner:
         for experiment, digest in zip(batch, order):
             unique.setdefault(digest, experiment)
 
-        total = len(unique)
-        done = 0
+        self._total = len(unique)
+        self._done = 0
         results: Dict[str, SystemReport] = {}
         pending: List[Experiment] = []
         for digest, experiment in unique.items():
@@ -105,57 +180,60 @@ class Runner:
                 if self.cache is not None else None
             if cached is not None:
                 results[digest] = cached
-                done += 1
-                self._report_progress(done, total, experiment)
+                self._complete(experiment, source="cache")
             else:
                 pending.append(experiment)
 
         if pending:
-            executed = self._execute(pending)
+            completions = self.backend.submit(pending, notify=self._notify)
             try:
-                for experiment in pending:
-                    report = next(executed)
+                for index, report in completions:
+                    experiment = pending[index]
                     results[experiment.content_hash()] = report
                     if self.cache is not None:
                         self.cache.put(experiment, report)
-                    done += 1
-                    self._report_progress(done, total, experiment)
+                    self._complete(experiment, source="worker")
             finally:
-                executed.close()    # tear down the worker pool promptly
+                close = getattr(completions, "close", None)
+                if close is not None:
+                    close()             # tear down workers promptly
 
+        missing = self._total - len(results)
+        if missing:     # pragma: no cover - backend contract violation
+            raise ExperimentError(
+                f"backend {self.backend.describe()} returned "
+                f"{len(results)} of {self._total} results")
         return [results[digest] for digest in order]
 
     def run_one(self, experiment: Experiment) -> SystemReport:
         """Convenience wrapper for a single experiment."""
         return self.run([experiment])[0]
 
-    # -- internals ----------------------------------------------------------------
+    # -- progress -----------------------------------------------------------------
 
-    def _report_progress(self, done: int, total: int,
-                         experiment: Experiment) -> None:
+    def _complete(self, experiment: Experiment, *, source: str) -> None:
+        self._done += 1
         if self.progress is not None:
-            self.progress(done, total, experiment.name or experiment.workload)
+            self.progress(ProgressEvent(
+                completed=self._done, total=self._total,
+                label=experiment.name or experiment.workload, source=source))
 
-    def _execute(self, pending: Sequence[Experiment]) -> Iterator[SystemReport]:
-        payloads = [experiment.to_dict() for experiment in pending]
-        jobs = min(self.jobs, len(payloads))
-        context = _fork_context() if jobs > 1 else None
-        if context is not None:
-            with context.Pool(processes=jobs) as pool:
-                for document in pool.imap(_execute_to_dict, payloads):
-                    yield SystemReport.from_dict(document)
-        else:
-            # Serial fallback: jobs=1, or no fork on this platform. Same
-            # dict round-trip as the pool path for bit-identical output.
-            for payload in payloads:
-                yield SystemReport.from_dict(_execute_to_dict(payload))
+    def _notify(self, label: str, source: str) -> None:
+        """Backend hook for non-completion events (retries)."""
+        if self.progress is not None:
+            self.progress(ProgressEvent(
+                completed=self._done, total=self._total,
+                label=label, source=source))
 
 
 def run_experiments(experiments: Iterable[Experiment], *, jobs: int = 1,
+                    backend: Optional[ExecutionBackend] = None,
                     use_cache: bool = True,
                     cache: Optional[ResultCache] = None,
-                    progress: Optional[ProgressFn] = None) -> List[SystemReport]:
+                    progress: Optional[Union[ProgressEventFn,
+                                             ProgressFn]] = None,
+                    ) -> List[SystemReport]:
     """One-shot form of :meth:`Runner.run`."""
-    runner = Runner(jobs=jobs, cache=cache, use_cache=use_cache,
-                    progress=progress)
+    runner = Runner(jobs=jobs, backend=backend, cache=cache,
+                    use_cache=use_cache, progress=progress)
     return runner.run(experiments)

@@ -1,0 +1,136 @@
+"""Length-prefixed JSON framing for the distributed worker protocol.
+
+Every message on a worker connection is one *frame*: a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON
+encoding a single object. Frames are small (an experiment or report
+document), so the dispatcher and worker always read a whole frame
+before acting, and a truncated or oversized frame is a protocol error
+rather than a hang.
+
+Message types (the ``"type"`` key of the decoded object):
+
+``run``
+    Dispatcher → worker: ``{"type": "run", "experiment": <Experiment
+    .to_dict()>}``. The worker executes the experiment and answers
+    with exactly one ``result`` or ``error`` frame.
+``result``
+    Worker → dispatcher: ``{"type": "result", "result":
+    <SystemReport.to_dict()>}``.
+``error``
+    Worker → dispatcher: ``{"type": "error", "error": <message>,
+    "kind": <exception class name>}``. The task failed but the worker
+    survives; the dispatcher decides whether to retry.
+``ping`` / ``pong``
+    Health probe and its reply.
+``shutdown``
+    Dispatcher → worker: stop serving after acknowledging with
+    ``{"type": "ok"}``.
+
+The JSON encoding is canonical (``sort_keys=True``, compact
+separators) so a payload's bytes are identical whichever process
+produced it — the same property the result cache relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict
+
+from ..errors import WireProtocolError
+
+#: Frame length prefix: 4-byte big-endian unsigned int.
+_HEADER = struct.Struct(">I")
+
+#: Hard ceiling on a single frame. Reports and experiments are a few
+#: KB; anything near this size is a corrupted or hostile stream.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+MSG_RUN = "run"
+MSG_RESULT = "result"
+MSG_ERROR = "error"
+MSG_PING = "ping"
+MSG_PONG = "pong"
+MSG_SHUTDOWN = "shutdown"
+MSG_OK = "ok"
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one message to its on-wire bytes (header + JSON)."""
+    if not isinstance(message, dict) or "type" not in message:
+        raise WireProtocolError(
+            f"wire messages must be dicts with a 'type' key, got {message!r}")
+    try:
+        body = json.dumps(message, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise WireProtocolError(f"unserialisable wire message: {error}")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Decode a frame body back into a message dict."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise WireProtocolError(f"malformed frame body: {error}")
+    if not isinstance(message, dict) or "type" not in message:
+        raise WireProtocolError(
+            f"frame did not decode to a typed message: {message!r}")
+    return message
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Write one frame to a connected socket."""
+    sock.sendall(encode_frame(message))
+
+
+def recv_message(sock: socket.socket) -> Dict[str, Any]:
+    """Read exactly one frame from a connected socket.
+
+    Raises :class:`WireProtocolError` on a truncated stream, an
+    oversized length prefix, or a malformed body. Socket timeouts and
+    OS errors propagate unchanged so callers can distinguish a sick
+    peer from a sick protocol.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"peer announced a {length}-byte frame (limit "
+            f"{MAX_FRAME_BYTES}); closing")
+    return decode_body(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise WireProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes read)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- message constructors -----------------------------------------------------------
+
+def run_request(experiment_doc: Dict[str, Any]) -> Dict[str, Any]:
+    return {"type": MSG_RUN, "experiment": experiment_doc}
+
+
+def result_reply(report_doc: Dict[str, Any]) -> Dict[str, Any]:
+    return {"type": MSG_RESULT, "result": report_doc}
+
+
+def error_reply(error: BaseException) -> Dict[str, Any]:
+    return {"type": MSG_ERROR, "error": str(error),
+            "kind": type(error).__name__}

@@ -1,0 +1,267 @@
+"""The distributed experiment worker: a small TCP task server.
+
+``python -m repro worker serve --port 7070`` turns any machine with
+the ``repro`` package into an execution endpoint for
+:class:`~repro.exec.DistributedBackend`. The server speaks the
+length-prefixed JSON protocol of :mod:`repro.exec.wire`, one request
+per connection: the dispatcher connects, sends a ``run`` frame
+carrying an ``Experiment.to_dict()`` document, and the worker answers
+with a ``result`` frame (the ``SystemReport.to_dict()`` payload) or an
+``error`` frame if the task raised. Executor exceptions never kill the
+server — the dispatcher owns the retry decision.
+
+Workers are deliberately sequential (one task at a time): parallelism
+comes from running more workers, which keeps each worker's memory
+footprint to a single simulation and makes health tracking in the
+dispatcher trivial.
+
+:func:`spawn_local_workers` forks worker processes on this machine —
+the easy way to use every local core through the same code path as a
+remote fleet, and how the test-suite exercises fault handling.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import socket
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import BackendError, WireProtocolError
+from .wire import (MSG_OK, MSG_PING, MSG_PONG, MSG_RUN, MSG_SHUTDOWN,
+                   error_reply, recv_message, result_reply, send_message)
+
+
+class WorkerServer:
+    """A sequential one-task-per-connection experiment server.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address. ``port=0`` asks the OS for an ephemeral port;
+        :meth:`bind` returns the port actually bound.
+    max_tasks:
+        Stop serving after this many ``run`` requests (``None`` =
+        serve forever). Gives tests and batch deployments a bounded
+        lifetime.
+    """
+
+    #: Idle limit for reading a request off an accepted connection.
+    REQUEST_TIMEOUT = 30.0
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 max_tasks: Optional[int] = None) -> None:
+        self.host = host
+        self.port = int(port)
+        self.max_tasks = max_tasks
+        self.tasks_served = 0
+        self._socket: Optional[socket.socket] = None
+        self._shutdown = False
+
+    def bind(self) -> int:
+        """Bind and listen; returns the bound port."""
+        if self._socket is not None:
+            return self.port
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            server.bind((self.host, self.port))
+            server.listen(16)
+        except OSError:
+            server.close()
+            raise
+        self._socket = server
+        self.port = server.getsockname()[1]
+        return self.port
+
+    def serve_forever(self) -> None:
+        """Accept and handle connections until shut down.
+
+        Returns after a ``shutdown`` frame, after ``max_tasks`` run
+        requests, or when :meth:`close` is called from another thread.
+        """
+        self.bind()
+        assert self._socket is not None
+        try:
+            while not self._shutdown:
+                if self.max_tasks is not None \
+                        and self.tasks_served >= self.max_tasks:
+                    break
+                try:
+                    connection, _ = self._socket.accept()
+                except OSError:
+                    break       # socket closed under us: clean stop
+                with contextlib.closing(connection):
+                    self._handle(connection)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        self._shutdown = True
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:     # pragma: no cover - double close
+                pass
+            self._socket = None
+
+    # -- request handling -----------------------------------------------------------
+
+    def _handle(self, connection: socket.socket) -> None:
+        connection.settimeout(self.REQUEST_TIMEOUT)
+        try:
+            request = recv_message(connection)
+        except (WireProtocolError, OSError):
+            return      # garbage or impatient client: drop silently
+        kind = request.get("type")
+        if kind == MSG_RUN:
+            self.tasks_served += 1
+            self._reply(connection, self._run(request))
+        elif kind == MSG_PING:
+            self._reply(connection, {"type": MSG_PONG,
+                                     "tasks_served": self.tasks_served})
+        elif kind == MSG_SHUTDOWN:
+            self._reply(connection, {"type": MSG_OK})
+            self._shutdown = True
+        else:
+            self._reply(connection, error_reply(
+                BackendError(f"unknown request type {kind!r}")))
+
+    def _run(self, request: dict) -> dict:
+        # Imported lazily so a worker process only pays for the
+        # simulator once it actually receives work.
+        from .backends import _execute_to_dict
+        try:
+            document = request["experiment"]
+            if not isinstance(document, dict):
+                raise BackendError("run request carries no experiment dict")
+            return result_reply(_execute_to_dict(document))
+        except Exception as error:      # noqa: BLE001 - survive any task
+            return error_reply(error)
+
+    @staticmethod
+    def _reply(connection: socket.socket, message: dict) -> None:
+        try:
+            send_message(connection, message)
+        except (WireProtocolError, OSError):
+            pass        # client went away: the dispatcher will retry
+
+
+def serve(host: str = "127.0.0.1", port: int = 0, *,
+          max_tasks: Optional[int] = None,
+          announce: Optional[Callable[[str], None]] = None) -> int:
+    """Run a worker server in this process until shutdown.
+
+    Returns the number of tasks served. ``announce`` (if given)
+    receives a single ``"host:port"`` string once the socket is bound
+    — the CLI prints it so scripts can scrape the ephemeral port.
+    """
+    server = WorkerServer(host, port, max_tasks=max_tasks)
+    bound_port = server.bind()
+    if announce is not None:
+        announce(f"{server.host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:   # pragma: no cover - interactive only
+        pass
+    finally:
+        server.close()
+    return server.tasks_served
+
+
+# ---------------------------------------------------------------------------
+# Local worker pools
+# ---------------------------------------------------------------------------
+
+def _local_worker_main(channel, host: str,
+                       max_tasks: Optional[int]) -> None:
+    """Child-process entry: bind, report the port, then serve."""
+    server = WorkerServer(host, 0, max_tasks=max_tasks)
+    try:
+        port = server.bind()
+    except OSError as error:    # pragma: no cover - bind races are rare
+        channel.send(("error", str(error)))
+        channel.close()
+        return
+    channel.send(("port", port))
+    channel.close()
+    server.serve_forever()
+
+
+class LocalWorker:
+    """Handle on one forked local worker process."""
+
+    def __init__(self, process: multiprocessing.process.BaseProcess,
+                 address: Tuple[str, int]) -> None:
+        self.process = process
+        self.address = address
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.address[0]}:{self.address[1]}"
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def terminate(self, timeout: float = 5.0) -> None:
+        """Kill the worker process (SIGTERM) and reap it."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout)
+
+
+def spawn_local_workers(count: int, *, host: str = "127.0.0.1",
+                        max_tasks: Optional[int] = None,
+                        start_timeout: float = 30.0) -> List[LocalWorker]:
+    """Fork ``count`` worker processes on this machine.
+
+    Prefers the ``fork`` start method (workers inherit any
+    test-registered workload kinds); falls back to the platform
+    default elsewhere. Each returned :class:`LocalWorker` is already
+    bound and accepting connections.
+    """
+    if count < 1:
+        raise BackendError(f"worker count must be >= 1, got {count}")
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+    workers: List[LocalWorker] = []
+    try:
+        for _ in range(count):
+            parent_channel, child_channel = context.Pipe()
+            process = context.Process(target=_local_worker_main,
+                                      args=(child_channel, host, max_tasks),
+                                      daemon=True)
+            process.start()
+            child_channel.close()
+            if not parent_channel.poll(start_timeout):
+                raise BackendError("local worker did not report a port "
+                                   f"within {start_timeout:g}s")
+            kind, value = parent_channel.recv()
+            parent_channel.close()
+            if kind != "port":
+                raise BackendError(f"local worker failed to bind: {value}")
+            workers.append(LocalWorker(process, (host, int(value))))
+    except BaseException:
+        for worker in workers:
+            worker.terminate()
+        raise
+    return workers
+
+
+@contextlib.contextmanager
+def local_worker_pool(count: int, *, host: str = "127.0.0.1",
+                      max_tasks: Optional[int] = None,
+                      ) -> Iterator[List[LocalWorker]]:
+    """``with local_worker_pool(2) as workers:`` — spawn and clean up."""
+    workers = spawn_local_workers(count, host=host, max_tasks=max_tasks)
+    try:
+        yield workers
+    finally:
+        for worker in workers:
+            worker.terminate()
+
+
+def worker_addresses(workers: Sequence[LocalWorker]) -> List[Tuple[str, int]]:
+    """The ``(host, port)`` endpoints of a local pool, dispatcher-ready."""
+    return [worker.address for worker in workers]

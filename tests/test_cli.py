@@ -66,6 +66,110 @@ class TestFigure:
         assert "miss_rate" in capsys.readouterr().out
 
 
+class TestCacheSweep:
+    def populate(self, directory):
+        from repro.exec import ResultCache, spec_experiment
+        from repro.sim.system import SystemReport
+        cache = ResultCache(directory, salt="cli-test")
+        for i in range(3):
+            report = SystemReport(name=f"r{i}", shredder=False,
+                                  instructions=1, cycles=1.0, ipc=1.0,
+                                  memory_reads=0, memory_writes=0)
+            cache.put(spec_experiment("GCC", cores=1, scale=0.1 + i * 0.01),
+                      report)
+        return cache
+
+    def test_sweep_requires_a_bound(self, capsys):
+        assert main(["cache", "sweep"]) == 2
+        assert "max-bytes" in capsys.readouterr().err
+
+    def test_sweep_with_size_bound(self, tmp_path, capsys):
+        cache = self.populate(tmp_path / "c")
+        assert len(cache) == 3
+        assert main(["cache", "sweep", "--max-bytes", "0",
+                     "--dir", str(tmp_path / "c")]) == 0
+        assert "swept 3 of 3" in capsys.readouterr().out
+        assert len(cache) == 0
+
+    def test_sweep_size_suffixes(self, tmp_path, capsys):
+        self.populate(tmp_path / "c")
+        assert main(["cache", "sweep", "--max-bytes", "1G",
+                     "--dir", str(tmp_path / "c")]) == 0
+        assert "swept 0 of 3" in capsys.readouterr().out
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "sweep",
+                                       "--max-bytes", "lots"])
+
+
+class TestWorkerCli:
+    def test_serve_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_serve_announces_and_honours_max_tasks(self, capsys):
+        """Drive a real serve() through one task over TCP."""
+        import re
+        import socket
+        import threading
+        from repro.exec.wire import recv_message, send_message
+
+        codes = {}
+
+        def run_server():
+            codes["exit"] = main(["worker", "serve", "--max-tasks", "1"])
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        # Scrape the announced ephemeral port.
+        endpoint = None
+        for _ in range(100):
+            match = re.search(r"listening on ([\d.]+):(\d+)",
+                              capsys.readouterr().out)
+            if match:
+                endpoint = (match.group(1), int(match.group(2)))
+                break
+            thread.join(timeout=0.05)
+        assert endpoint, "server never announced its endpoint"
+        with socket.create_connection(endpoint, timeout=10) as conn:
+            conn.settimeout(10)
+            send_message(conn, {"type": "run", "experiment": "junk"})
+            assert recv_message(conn)["type"] == "error"
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert codes["exit"] == 0
+
+    def test_workers_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["figure", "fig8", "--workers", "a:1,b:2",
+             "--task-timeout", "7"])
+        assert args.workers == "a:1,b:2"
+        assert args.task_timeout == 7.0
+
+    def test_make_runner_builds_distributed_backend(self):
+        from repro.cli import _make_runner
+        from repro.exec import DistributedBackend
+        args = build_parser().parse_args(
+            ["figure", "fig8", "--workers", "a:1, b:2", "--no-cache",
+             "--task-timeout", "9"])
+        runner = _make_runner(args)
+        assert isinstance(runner.backend, DistributedBackend)
+        assert runner.backend.addresses == [("a", 1), ("b", 2)]
+        assert runner.backend.task_timeout == 9.0
+        assert runner.cache is None
+
+    def test_distributed_failure_is_a_clean_exit(self, tmp_path, capsys,
+                                                 monkeypatch):
+        """A dead endpoint surfaces as exit code 1, not a traceback."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cc"))
+        code = main(["compare", "--benchmark", "GCC", "--scale", "0.1",
+                     "--cores", "1", "--workers", "127.0.0.1:1",
+                     "--no-cache"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestExportConfig:
     def test_export_and_reload(self, tmp_path, capsys):
         from repro.serialization import load_config

@@ -119,6 +119,82 @@ class TestCorruption:
         assert cache.get(experiment) == first
 
 
+class TestSweep:
+    def populate(self, cache, count, base_time=1_000_000.0):
+        """Write ``count`` entries with strictly increasing mtimes."""
+        import os
+        experiments = []
+        for i in range(count):
+            experiment = spec_experiment("GCC", cores=1, scale=0.1 + i * 0.01)
+            cache.put(experiment, tiny_report(name=f"r{i}"))
+            path = cache.path(experiment)
+            os.utime(path, (base_time + i, base_time + i))
+            experiments.append(experiment)
+        return experiments
+
+    def entry_size(self, cache, experiment):
+        return cache.path(experiment).stat().st_size
+
+    def test_no_bounds_reports_only(self, cache):
+        self.populate(cache, 3)
+        result = cache.sweep()
+        assert result.examined == 3
+        assert result.removed == 0
+        assert result.kept == 3
+        assert len(cache) == 3
+
+    def test_max_bytes_keeps_newest(self, cache):
+        experiments = self.populate(cache, 4)
+        budget = self.entry_size(cache, experiments[3]) \
+            + self.entry_size(cache, experiments[2])
+        result = cache.sweep(max_bytes=budget)
+        assert result.removed == 2
+        assert result.kept == 2
+        # The two *newest* entries survive.
+        assert cache.get(experiments[3]) is not None
+        assert cache.get(experiments[2]) is not None
+        assert cache.get(experiments[0]) is None
+        assert cache.get(experiments[1]) is None
+
+    def test_max_age_drops_old_entries(self, cache):
+        experiments = self.populate(cache, 3, base_time=1_000_000.0)
+        two_days = 2 * 86400.0
+        result = cache.sweep(max_age_days=1.0,
+                             now=1_000_000.0 + 1 + two_days)
+        # Entries at t, t+1, t+2 against a cutoff of t+1+day... all of
+        # them are older than one day relative to `now`.
+        assert result.removed == 3
+        assert len(cache) == 0
+
+    def test_max_age_keeps_young_entries(self, cache):
+        experiments = self.populate(cache, 3, base_time=1_000_000.0)
+        result = cache.sweep(max_age_days=1.0, now=1_000_000.0 + 2 + 3600)
+        assert result.removed == 0
+        assert all(cache.get(e) is not None for e in experiments)
+
+    def test_sweep_evicts_memory_layer_too(self, cache):
+        experiments = self.populate(cache, 2)
+        assert cache.sweep(max_bytes=0).removed == 2
+        # No disk entry AND no stale memory entry.
+        assert cache.get(experiments[0]) is None
+        assert cache.stats.memory_hits == 0
+
+    def test_combined_bounds(self, cache):
+        experiments = self.populate(cache, 4, base_time=1_000_000.0)
+        size = self.entry_size(cache, experiments[0])
+        result = cache.sweep(max_bytes=3 * size, max_age_days=1.0,
+                             now=1_000_000.0 + 2 + 86400.0)
+        # Age kills entries 0 and 1; size alone would have kept 3.
+        assert result.removed == 2
+        assert cache.get(experiments[3]) is not None
+        assert cache.get(experiments[0]) is None
+
+    def test_sweep_result_describe(self, cache):
+        self.populate(cache, 2)
+        text = cache.sweep(max_bytes=0).describe()
+        assert "swept 2 of 2 entries" in text
+
+
 class TestDirectoryResolution:
     def test_env_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))

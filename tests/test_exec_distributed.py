@@ -1,0 +1,208 @@
+"""The distributed backend: dispatch, determinism, fault tolerance.
+
+Local worker processes are forked (`spawn_local_workers`), so
+workloads registered here are inherited by the workers — the fault
+injection below (crashes, sleeps, flaky failures) rides on that.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.analysis.figures import fig8_to_11_study
+from repro.errors import BackendError, ExperimentError
+from repro.exec import (DistributedBackend, Experiment, ResultCache, Runner,
+                        experiment_pair, local_worker_pool, register_workload,
+                        spawn_local_workers, spec_experiment,
+                        worker_addresses)
+
+@register_workload("dist-napper")
+def _napper(system, params):
+    """Sleep, so batches take long enough to inject faults into."""
+    time.sleep(float(params.get("seconds", 0.05)))
+
+
+@register_workload("dist-flaky")
+def _flaky(system, params):
+    """Fail until a marker file exists; the first attempt plants it."""
+    marker = params["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as stream:
+            stream.write("attempted")
+        raise RuntimeError("transient failure, retry me")
+
+
+@register_workload("dist-crasher")
+def _crasher(system, params):
+    """Kill the whole worker process mid-task until the marker exists."""
+    marker = params["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as stream:
+            stream.write("attempted")
+        os._exit(17)
+
+
+def canonical(reports):
+    return [json.dumps(r.to_dict(), sort_keys=True) for r in reports]
+
+
+def nap_batch(count, seconds=0.15):
+    return [Experiment("dist-napper", params={"seconds": seconds, "i": i},
+                       name=f"nap-{i}") for i in range(count)]
+
+
+class TestDistributedDeterminism:
+    def test_small_batch_matches_serial_byte_for_byte(self):
+        batch = []
+        for name in ("GCC", "H264"):
+            batch.extend(experiment_pair(
+                spec_experiment(name, cores=1, scale=0.15)))
+        serial = Runner(use_cache=False).run(batch)
+        with local_worker_pool(2) as workers:
+            backend = DistributedBackend(worker_addresses(workers))
+            distributed = Runner(backend=backend, use_cache=False).run(batch)
+        assert canonical(distributed) == canonical(serial)
+
+    def test_fig8_study_acceptance(self, tmp_path):
+        """The ISSUE acceptance: a fig8-11 study over 2 local workers
+        is byte-identical to the serial backend."""
+        kwargs = dict(benchmarks=["GCC", "H264"], scale=0.15, cores=1)
+        serial = fig8_to_11_study(
+            runner=Runner(cache=ResultCache(tmp_path / "serial")), **kwargs)
+        with local_worker_pool(2) as workers:
+            backend = DistributedBackend(worker_addresses(workers))
+            distributed = fig8_to_11_study(
+                runner=Runner(backend=backend,
+                              cache=ResultCache(tmp_path / "dist")),
+                **kwargs)
+        assert canonical(serial) == canonical(distributed)
+
+    def test_results_cached_like_any_backend(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        batch = nap_batch(3, seconds=0.01)
+        with local_worker_pool(2) as workers:
+            backend = DistributedBackend(worker_addresses(workers))
+            Runner(backend=backend, cache=cache).run(batch)
+        assert len(cache) == 3
+        # Warm rerun needs no workers at all.
+        events = []
+        Runner(cache=ResultCache(tmp_path), progress=events.append).run(batch)
+        assert {event.source for event in events} == {"cache"}
+
+
+class TestFaultTolerance:
+    def test_worker_killed_mid_batch_requeues(self):
+        """The ISSUE acceptance: kill one of two workers mid-batch; the
+        batch still completes and the retries surface as progress
+        events."""
+        batch = nap_batch(8)
+        events = []
+        workers = spawn_local_workers(2)
+        try:
+            backend = DistributedBackend(worker_addresses(workers),
+                                         task_timeout=60,
+                                         max_worker_failures=2)
+            runner = Runner(backend=backend, use_cache=False,
+                            progress=events.append)
+            killer = threading.Timer(0.25, workers[0].terminate)
+            killer.start()
+            reports = runner.run(batch)
+            killer.join()
+        finally:
+            for worker in workers:
+                worker.terminate()
+        assert len(reports) == 8
+        assert [r.name for r in reports] == [f"nap-{i}" for i in range(8)]
+        retries = [e for e in events if e.source == "retry"]
+        assert retries, "the killed worker's tasks must be re-queued"
+        completions = [e for e in events if e.source == "worker"]
+        assert len(completions) == 8
+
+    def test_worker_crash_mid_task_retries_elsewhere(self, tmp_path):
+        """os._exit inside the executor: the connection dies mid-task,
+        the task is re-queued, and the surviving worker finishes it."""
+        marker = str(tmp_path / "crashed-once")
+        batch = [Experiment("dist-crasher", params={"marker": marker},
+                            name="kamikaze")]
+        with local_worker_pool(2) as workers:
+            backend = DistributedBackend(worker_addresses(workers),
+                                         task_timeout=60,
+                                         max_worker_failures=3)
+            reports = Runner(backend=backend, use_cache=False).run(batch)
+        assert len(reports) == 1
+        assert os.path.exists(marker)
+
+    def test_retry_then_succeed(self, tmp_path):
+        """An executor exception is an error reply: retried with backoff
+        until it succeeds, visible as a retry progress event."""
+        marker = str(tmp_path / "flaked-once")
+        batch = [Experiment("dist-flaky", params={"marker": marker},
+                            name="flaky-one")]
+        events = []
+        with local_worker_pool(1) as workers:
+            backend = DistributedBackend(worker_addresses(workers),
+                                         task_timeout=60, max_retries=3)
+            reports = Runner(backend=backend, use_cache=False,
+                             progress=events.append).run(batch)
+        assert len(reports) == 1
+        retries = [e for e in events if e.source == "retry"]
+        assert len(retries) == 1
+        assert retries[0].label == "flaky-one"
+        assert events[-1].source == "worker"
+
+    def test_slow_worker_hits_timeout_then_exhausts(self):
+        """A task slower than the per-task timeout burns its retry
+        budget and surfaces an ExperimentError naming the experiment."""
+        batch = [Experiment("dist-napper", params={"seconds": 30.0},
+                            name="slowpoke")]
+        with local_worker_pool(1) as workers:
+            backend = DistributedBackend(worker_addresses(workers),
+                                         task_timeout=0.3, max_retries=1,
+                                         backoff_base=0.01,
+                                         max_worker_failures=50)
+            with pytest.raises(ExperimentError, match="slowpoke"):
+                Runner(backend=backend, use_cache=False).run(batch)
+
+    def test_retries_exhausted_names_the_experiment(self, tmp_path):
+        """A deterministic failure exhausts max_retries and the error
+        carries the experiment label and attempt count."""
+        batch = [Experiment("no-such-workload-kind", name="doomed")]
+        with local_worker_pool(1) as workers:
+            backend = DistributedBackend(worker_addresses(workers),
+                                         task_timeout=30, max_retries=2,
+                                         backoff_base=0.01)
+            with pytest.raises(BackendError, match=r"doomed.*3 attempts"):
+                Runner(backend=backend, use_cache=False).run(batch)
+
+    def test_all_workers_dead_fails_the_batch(self):
+        """Endpoints that never answer: every worker is declared dead
+        and the batch fails instead of hanging."""
+        workers = spawn_local_workers(2)
+        addresses = worker_addresses(workers)
+        for worker in workers:
+            worker.terminate()
+        backend = DistributedBackend(addresses, connect_timeout=1.0,
+                                     backoff_base=0.01,
+                                     max_worker_failures=2)
+        with pytest.raises(BackendError, match="workers died"):
+            Runner(backend=backend, use_cache=False).run(nap_batch(3))
+
+
+class TestLocalWorkerPool:
+    def test_spawn_and_terminate(self):
+        workers = spawn_local_workers(2)
+        try:
+            assert len({w.address for w in workers}) == 2
+            assert all(w.is_alive() for w in workers)
+            assert all(":" in w.endpoint for w in workers)
+        finally:
+            for worker in workers:
+                worker.terminate()
+        assert not any(w.is_alive() for w in workers)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(BackendError):
+            spawn_local_workers(0)

@@ -7,9 +7,10 @@ import pytest
 from repro.analysis.figures import clear_memo, fig8_to_11_study, run_pair
 from repro.cli import main
 from repro.errors import ExperimentError
-from repro.exec import (Experiment, ResultCache, Runner, experiment_pair,
-                        run_experiments, spec_experiment, workload_kinds)
-from repro.exec import runner as runner_module
+from repro.exec import (Experiment, ProgressEvent, ResultCache, Runner,
+                        experiment_pair, run_experiments, spec_experiment,
+                        workload_kinds)
+from repro.exec import backends as backends_module
 from repro.sim.system import System
 
 
@@ -46,13 +47,13 @@ class TestRunnerBasics:
 
     def test_duplicates_execute_once(self, monkeypatch):
         calls = []
-        original = runner_module._execute_to_dict
+        original = backends_module._execute_to_dict
 
         def counting(payload):
             calls.append(payload["name"])
             return original(payload)
 
-        monkeypatch.setattr(runner_module, "_execute_to_dict", counting)
+        monkeypatch.setattr(backends_module, "_execute_to_dict", counting)
         exp = spec_experiment("GCC", cores=1, scale=0.1)
         reports = Runner(use_cache=False).run([exp, exp, exp])
         assert len(calls) == 1
@@ -63,15 +64,32 @@ class TestRunnerBasics:
         cache = ResultCache(tmp_path)
         batch = small_batch()
 
+        Runner(cache=cache, progress=events.append).run(batch)
+        assert events[0] == ProgressEvent(1, 4, "GCC-baseline", "worker")
+        assert events[-1] == ProgressEvent(4, 4, "H264-shredder", "worker")
+        events.clear()
+        Runner(cache=ResultCache(tmp_path), progress=events.append).run(batch)
+        assert [event.completed for event in events] == [1, 2, 3, 4]
+        assert {event.source for event in events} == {"cache"}
+
+    def test_legacy_three_arg_progress_shim_warns(self, tmp_path):
+        events = []
+
         def progress(done, total, label):
             events.append((done, total, label))
 
-        Runner(cache=cache, progress=progress).run(batch)
-        assert events[0] == (1, 4, "GCC-baseline")
-        assert events[-1] == (4, 4, "H264-shredder")
-        events.clear()
-        Runner(cache=ResultCache(tmp_path), progress=progress).run(batch)
-        assert [done for done, _, _ in events] == [1, 2, 3, 4]
+        with pytest.deprecated_call():
+            runner = Runner(cache=ResultCache(tmp_path), progress=progress)
+        runner.run(small_batch()[:2])
+        assert events == [(1, 2, "GCC-baseline"), (2, 2, "GCC-shredder")]
+
+    def test_bad_progress_arity_rejected_eagerly(self):
+        with pytest.raises(ExperimentError):
+            Runner(use_cache=False, progress=lambda a, b: None)
+
+    def test_progress_event_validates_source(self):
+        with pytest.raises(ExperimentError):
+            ProgressEvent(1, 2, "x", source="telepathy")
 
 
 class TestDeterminism:
@@ -82,7 +100,7 @@ class TestDeterminism:
         assert canonical(serial) == canonical(parallel)
 
     def test_serial_fallback_without_fork(self, monkeypatch):
-        monkeypatch.setattr(runner_module, "_fork_context", lambda: None)
+        monkeypatch.setattr(backends_module, "_fork_context", lambda: None)
         batch = small_batch()[:2]
         reports = run_experiments(batch, jobs=4, use_cache=False)
         assert canonical(reports) == \
@@ -122,14 +140,14 @@ class TestFigureIntegration:
         assert result.write_savings > 0
         assert result.baseline.memory_writes > result.shredder.memory_writes
 
-    def test_run_pair_legacy_form_warns_and_matches(self):
+    def test_run_pair_legacy_form_now_raises(self):
         from repro.workloads import multiprogrammed_tasks
-        exp = spec_experiment("GCC", cores=1, scale=0.15)
-        fresh = run_pair(exp, use_cache=False)
-        with pytest.deprecated_call():
-            legacy = run_pair(
-                "GCC", lambda: multiprogrammed_tasks("GCC", 1, scale=0.15))
-        assert legacy.row() == fresh.row()
+        with pytest.raises(ExperimentError, match="spec_experiment"):
+            run_pair("GCC",
+                     lambda: multiprogrammed_tasks("GCC", 1, scale=0.15))
+        with pytest.raises(ExperimentError, match="removed"):
+            run_pair(spec_experiment("GCC", cores=1, scale=0.15),
+                     lambda: [])
 
     def test_run_pair_rejects_junk(self):
         with pytest.raises(TypeError):

@@ -1,0 +1,175 @@
+"""The length-prefixed JSON wire protocol and the worker server."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import WireProtocolError
+from repro.exec.wire import (MAX_FRAME_BYTES, decode_body, encode_frame,
+                             error_reply, recv_message, result_reply,
+                             run_request, send_message)
+from repro.exec.worker import WorkerServer
+
+
+def round_trip(message):
+    frame = encode_frame(message)
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    return decode_body(frame[4:])
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = run_request({"workload": "spec", "params": {"x": 1}})
+        assert round_trip(message) == message
+
+    def test_canonical_bytes(self):
+        """Key order cannot change the encoded frame."""
+        a = encode_frame({"type": "run", "experiment": {"b": 1, "a": 2}})
+        b = encode_frame({"experiment": {"a": 2, "b": 1}, "type": "run"})
+        assert a == b
+
+    def test_rejects_untyped_messages(self):
+        with pytest.raises(WireProtocolError):
+            encode_frame({"no": "type"})
+        with pytest.raises(WireProtocolError):
+            encode_frame(["not", "a", "dict"])
+
+    def test_rejects_unserialisable_payload(self):
+        with pytest.raises(WireProtocolError):
+            encode_frame({"type": "run", "experiment": object()})
+
+    def test_rejects_malformed_body(self):
+        with pytest.raises(WireProtocolError):
+            decode_body(b"{truncated")
+        with pytest.raises(WireProtocolError):
+            decode_body(b"[1, 2, 3]")
+
+    def test_constructors(self):
+        assert run_request({"w": 1})["type"] == "run"
+        assert result_reply({"ipc": 1.0})["type"] == "result"
+        reply = error_reply(ValueError("boom"))
+        assert reply == {"type": "error", "error": "boom",
+                         "kind": "ValueError"}
+
+
+class TestSocketTransport:
+    def socket_pair(self):
+        return socket.socketpair()
+
+    def test_send_and_recv(self):
+        left, right = self.socket_pair()
+        try:
+            message = result_reply({"name": "r", "ipc": 2.0})
+            send_message(left, message)
+            assert recv_message(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_truncated_stream_is_protocol_error(self):
+        left, right = self.socket_pair()
+        try:
+            frame = encode_frame(run_request({"w": 1}))
+            left.sendall(frame[:len(frame) - 3])
+            left.close()
+            with pytest.raises(WireProtocolError, match="mid-frame"):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_oversized_announcement_rejected(self):
+        left, right = self.socket_pair()
+        try:
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(WireProtocolError, match="limit"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_multiple_frames_on_one_connection(self):
+        left, right = self.socket_pair()
+        try:
+            for i in range(3):
+                send_message(left, {"type": "ping", "i": i})
+            for i in range(3):
+                assert recv_message(right)["i"] == i
+        finally:
+            left.close()
+            right.close()
+
+
+class TestWorkerServer:
+    """Protocol-level behaviour, no experiments involved."""
+
+    def serve_one(self, server):
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def request(self, port, message):
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+            conn.settimeout(10)
+            send_message(conn, message)
+            return recv_message(conn)
+
+    def test_ping_pong_and_shutdown(self):
+        server = WorkerServer()
+        port = server.bind()
+        thread = self.serve_one(server)
+        assert self.request(port, {"type": "ping"})["type"] == "pong"
+        assert self.request(port, {"type": "shutdown"})["type"] == "ok"
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_unknown_request_gets_error_reply(self):
+        server = WorkerServer()
+        port = server.bind()
+        thread = self.serve_one(server)
+        try:
+            reply = self.request(port, {"type": "make-coffee"})
+            assert reply["type"] == "error"
+            assert "make-coffee" in reply["error"]
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+    def test_bad_run_request_survives_server(self):
+        """A junk experiment produces an error reply, not a dead worker."""
+        server = WorkerServer()
+        port = server.bind()
+        thread = self.serve_one(server)
+        try:
+            reply = self.request(port, {"type": "run", "experiment": "junk"})
+            assert reply["type"] == "error"
+            # ... and the server still answers afterwards.
+            assert self.request(port, {"type": "ping"})["type"] == "pong"
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+    def test_max_tasks_bounds_lifetime(self):
+        server = WorkerServer(max_tasks=1)
+        port = server.bind()
+        thread = self.serve_one(server)
+        reply = self.request(port, {"type": "run", "experiment": "junk"})
+        assert reply["type"] == "error"
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert server.tasks_served == 1
+
+    def test_garbage_connection_ignored(self):
+        server = WorkerServer()
+        port = server.bind()
+        thread = self.serve_one(server)
+        try:
+            with socket.create_connection(("127.0.0.1", port),
+                                          timeout=10) as conn:
+                conn.sendall(b"\x00\x00\x00\x05junk!")
+            assert self.request(port, {"type": "ping"})["type"] == "pong"
+        finally:
+            server.close()
+            thread.join(timeout=10)
