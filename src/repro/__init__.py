@@ -29,7 +29,8 @@ from .errors import (ReproError, ConfigError, AddressError, AlignmentError,
                      OutOfMemoryError, PageFaultError, ProtectionError,
                      IntegrityError, EnduranceExceededError, CipherError,
                      CounterOverflowError, SimulationError, ExperimentError,
-                     BackendError, WireProtocolError)
+                     BackendError, WireProtocolError, ObservabilityError)
+from .obs import MetricsRegistry, merge_snapshots, span
 from .core import (SilentShredderController, SecureMemoryController,
                    ShredRegister, CounterBlock, IVLayout, make_policy)
 from .sim import Machine, System, SystemReport, RunResult, compare_runs
@@ -64,7 +65,9 @@ __all__ = [
     "IntegrityError",
     "KernelConfig",
     "Machine",
+    "MetricsRegistry",
     "NVMConfig",
+    "ObservabilityError",
     "OutOfMemoryError",
     "PageFaultError",
     "ProgressEvent",
@@ -88,8 +91,10 @@ __all__ = [
     "experiment_pair",
     "fast_config",
     "make_policy",
+    "merge_snapshots",
     "powergraph_experiment",
     "run_experiments",
+    "span",
     "spec_experiment",
     "WireProtocolError",
     "__version__",

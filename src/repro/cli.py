@@ -15,11 +15,16 @@ Commands
     Run a distributed experiment worker (TCP task server).
 ``cache sweep``
     Apply LRU size/age bounds to the persistent result cache.
+``stats``
+    Render a ``--emit-metrics`` JSON-lines dump as a table or
+    Prometheus text.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import List, Optional
 
@@ -63,23 +68,61 @@ def _cli_progress(event: ProgressEvent) -> None:
           file=sys.stderr, flush=True)
 
 
-def _make_runner(args: argparse.Namespace) -> Runner:
-    """The execution engine for a CLI invocation.
+@contextlib.contextmanager
+def _runner_context(args: argparse.Namespace):
+    """The execution engine for a CLI invocation, with lifecycle.
 
-    ``--workers host:port,...`` selects the distributed backend;
-    otherwise ``--jobs`` picks serial or a local fork pool.
+    ``--workers host:port,...`` dispatches to an existing worker
+    fleet; ``--spawn-local N`` forks N workers on this machine and
+    tears them down afterwards; otherwise ``--jobs`` picks serial or a
+    local fork pool. On exit, ``--emit-metrics PATH`` writes the
+    run's merged registry (simulation metrics folded in from every
+    completed report, plus batch/dispatch telemetry) and recorded
+    spans as a JSON-lines dump.
     """
+    from .obs import MetricsRegistry, default_tracer, write_jsonl
     workers = getattr(args, "workers", None)
-    if workers:
-        addresses = [part.strip() for part in workers.split(",")
-                     if part.strip()]
-        backend = DistributedBackend(addresses,
-                                     task_timeout=args.task_timeout)
-        return Runner(backend=backend, use_cache=not args.no_cache,
-                      progress=_cli_progress)
-    progress = _cli_progress if args.jobs > 1 else None
-    return Runner(jobs=args.jobs, use_cache=not args.no_cache,
-                  progress=progress)
+    spawn_local = getattr(args, "spawn_local", None)
+    if workers and spawn_local:
+        raise BackendError("pass either --workers or --spawn-local, not both")
+    metrics = MetricsRegistry()
+    pool = []
+    try:
+        if workers or spawn_local:
+            if spawn_local:
+                from .exec.worker import spawn_local_workers
+                pool = spawn_local_workers(spawn_local)
+                addresses = [worker.endpoint for worker in pool]
+            else:
+                addresses = [part.strip() for part in workers.split(",")
+                             if part.strip()]
+            backend = DistributedBackend(addresses,
+                                         task_timeout=args.task_timeout,
+                                         metrics=metrics)
+            runner = Runner(backend=backend, use_cache=not args.no_cache,
+                            progress=_cli_progress, metrics=metrics)
+        else:
+            progress = _cli_progress if args.jobs > 1 else None
+            runner = Runner(jobs=args.jobs, use_cache=not args.no_cache,
+                            progress=progress, metrics=metrics)
+        yield runner
+        emit = getattr(args, "emit_metrics", None)
+        if emit:
+            with open(emit, "w") as stream:
+                write_jsonl(metrics.snapshot(), stream,
+                            spans=default_tracer().snapshot(),
+                            meta={"command": args.command,
+                                  "backend": runner.backend.describe()})
+            print(f"(metrics written to {emit})", file=sys.stderr)
+    finally:
+        for worker in pool:
+            worker.terminate()
+
+
+def _make_runner(args: argparse.Namespace) -> Runner:
+    """Deprecated shim kept for scripts importing the old helper."""
+    with contextlib.ExitStack() as stack:
+        return stack.enter_context(_runner_context(args))
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -92,7 +135,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"unknown benchmark {args.benchmark!r}; try list-benchmarks",
               file=sys.stderr)
         return 2
-    result = run_pair(experiment, runner=_make_runner(args))
+    with _runner_context(args) as runner:
+        result = run_pair(experiment, runner=runner)
     print(render_table([result.row()],
                        title=f"{name} — baseline vs Silent Shredder"))
     return 0
@@ -108,7 +152,13 @@ def _emit_rows(args: argparse.Namespace, rows, title: str) -> None:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     which = args.name.lower()
-    runner = _make_runner(args)
+    from .obs import span
+    with _runner_context(args) as runner, \
+            span(f"figure.{which}", attrs={"scale": args.scale}):
+        return _run_figure(args, which, runner)
+
+
+def _run_figure(args: argparse.Namespace, which: str, runner: Runner) -> int:
     if which == "fig4":
         sizes = [256 << 10, 512 << 10, 1 << 20, 2 << 20]
         rows = fig4_memset(sizes)
@@ -155,9 +205,36 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_worker_serve(args: argparse.Namespace) -> int:
     from .exec.worker import serve
     served = serve(args.host, args.port, max_tasks=args.max_tasks,
+                   cache_dir=args.cache_dir,
+                   emit_metrics=args.emit_metrics,
                    announce=lambda endpoint: print(
                        f"repro worker listening on {endpoint}", flush=True))
     print(f"worker stopped after {served} tasks", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .errors import ObservabilityError
+    from .obs import (read_jsonl, render_metrics_table, render_spans_table,
+                      to_prometheus, write_jsonl)
+    try:
+        with open(args.path) as stream:
+            dump = read_jsonl(stream)
+    except (OSError, ObservabilityError) as error:
+        print(f"error: cannot read metrics dump {args.path}: {error}",
+              file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        sys.stdout.write(to_prometheus(dump.metrics))
+    elif args.format == "jsonl":
+        write_jsonl(dump.metrics, sys.stdout, spans=dump.spans,
+                    meta=dump.meta)
+    else:
+        print(render_metrics_table(dump.metrics, prefix=args.prefix or "",
+                                   title=f"metrics — {args.path}"))
+        if dump.spans and not args.prefix:
+            print()
+            print(render_spans_table(dump.spans, title="spans"))
     return 0
 
 
@@ -222,6 +299,14 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="SECONDS",
                         help="per-task timeout for --workers dispatch "
                              "(default: 300)")
+    parser.add_argument("--spawn-local", type=_positive_int, default=None,
+                        metavar="N",
+                        help="fork N local worker processes and dispatch "
+                             "to them (mutually exclusive with --workers)")
+    parser.add_argument("--emit-metrics", metavar="PATH", default=None,
+                        help="write the run's merged metrics registry and "
+                             "spans as a JSON-lines dump (read it back "
+                             "with 'repro stats')")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -278,6 +363,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-tasks", type=_positive_int, default=None,
                        metavar="N",
                        help="exit after serving N tasks (default: forever)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="consult/populate a worker-side result cache "
+                            "rooted at DIR before executing each task")
+    serve.add_argument("--emit-metrics", metavar="PATH", default=None,
+                       help="write the worker's final metrics registry as "
+                            "a JSON-lines dump on shutdown")
     serve.set_defaults(func=_cmd_worker_serve)
 
     cache = sub.add_parser("cache", help="persistent result cache upkeep")
@@ -296,6 +387,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "shared cache)")
     sweep.set_defaults(func=_cmd_cache_sweep)
 
+    stats = sub.add_parser(
+        "stats", help="render an --emit-metrics JSON-lines dump")
+    stats.add_argument("path", help="dump file written by --emit-metrics")
+    stats.add_argument("--format", choices=("table", "prom", "jsonl"),
+                       default="table",
+                       help="output format (default: table)")
+    stats.add_argument("--prefix", default=None, metavar="NAME",
+                       help="only show metrics under this dotted prefix "
+                            "(e.g. mem.nvm)")
+    stats.set_defaults(func=_cmd_stats)
+
     return parser
 
 
@@ -309,6 +411,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # operational, not bugs: report and exit instead of tracebacks.
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # ``repro stats ... | head`` closes stdout early. Point the
+        # descriptor at devnull so the interpreter's exit-time flush
+        # doesn't raise again, and exit quietly like other CLIs.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":       # pragma: no cover

@@ -49,7 +49,8 @@ class CacheConfig:
     shared: bool = False
 
     def __post_init__(self) -> None:
-        _require(is_power_of_two(self.block_size), f"{self.name}: block size must be a power of two")
+        _require(is_power_of_two(self.block_size),
+                 f"{self.name}: block size must be a power of two")
         _require(self.size_bytes % (self.block_size * self.associativity) == 0,
                  f"{self.name}: size must be a multiple of block_size*associativity")
         _require(self.associativity >= 1, f"{self.name}: associativity must be >= 1")

@@ -29,6 +29,7 @@ from ..crypto import CounterModeEngine, make_cipher
 from ..errors import AddressError
 from ..integrity import MerkleTree
 from ..mem import MemoryController, NVMDevice
+from ..obs import MetricsRegistry
 from ..cache.counter_cache import CounterCache, CounterEviction
 from .iv import CounterBlock, IVLayout, MINOR_SHREDDED
 
@@ -82,8 +83,10 @@ class SecureMemoryController:
     zero_semantics = False
 
     def __init__(self, config: SystemConfig, *,
-                 device: Optional[NVMDevice] = None) -> None:
+                 device: Optional[NVMDevice] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.config = config
+        self.metrics = metrics
         self.block_size = config.block_size
         self.page_size = config.kernel.page_size
         self.blocks_per_page = config.blocks_per_page
@@ -108,7 +111,8 @@ class SecureMemoryController:
             device = NVMDevice(_replace(config.nvm,
                                         capacity_bytes=physical_total),
                                block_size=self.block_size,
-                               functional=config.functional)
+                               functional=config.functional,
+                               metrics=metrics, metrics_prefix="mem.nvm")
         self.device = device
         if wear_leveler is not None and config.functional:
             def _move(src_line: int, dst_line: int,
@@ -116,7 +120,8 @@ class SecureMemoryController:
                 _device.poke(dst_line * _bs, _device.peek(src_line * _bs))
             wear_leveler.move_hook = _move
         self.mem = MemoryController.for_nvm(device, config.nvm,
-                                            wear_leveler=wear_leveler)
+                                            wear_leveler=wear_leveler,
+                                            metrics=metrics)
 
         self.minor_bits = config.encryption.minor_counter_bits
         self.encrypted = config.encryption.enabled
@@ -138,6 +143,12 @@ class SecureMemoryController:
         self._merkle_latency_ns = MERKLE_CYCLES * cycle_ns
         self.functional = config.functional
         self._zero_block = bytes(self.block_size)
+        # Simulated read-latency distribution (deterministic — these are
+        # model nanoseconds, not wall time), when a registry is attached.
+        self._read_latency_hist = None
+        if metrics is not None:
+            self._read_latency_hist = metrics.histogram(
+                "mem.ctrl.read_latency_ns", unit="ns")
 
     # -- address helpers ---------------------------------------------------
 
@@ -234,6 +245,8 @@ class SecureMemoryController:
             self.stats.zero_fill_reads += 1
             self.stats.read_requests += 1
             self.stats.total_read_latency_ns += latency
+            if self._read_latency_hist is not None:
+                self._read_latency_hist.observe(latency)
             return AccessResult(data=self._zero_block if self.functional else None,
                                 latency_ns=latency, zero_filled=True,
                                 counter_hit=hit)
@@ -254,6 +267,8 @@ class SecureMemoryController:
                    + self._xor_latency_ns)
         self.stats.read_requests += 1
         self.stats.total_read_latency_ns += latency
+        if self._read_latency_hist is not None:
+            self._read_latency_hist.observe(latency)
         return AccessResult(data=plaintext, latency_ns=latency, counter_hit=hit)
 
     def store_block(self, address: int, data: Optional[bytes],

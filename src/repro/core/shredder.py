@@ -46,8 +46,9 @@ class SilentShredderController(SecureMemoryController):
 
     def __init__(self, config: SystemConfig, *,
                  policy: Optional[ShredPolicy] = None,
-                 device: Optional[NVMDevice] = None) -> None:
-        super().__init__(config, device=device)
+                 device: Optional[NVMDevice] = None,
+                 metrics=None) -> None:
+        super().__init__(config, device=device, metrics=metrics)
         self.policy = policy if policy is not None else MajorResetMinorsPolicy()
         # Zero-fill reads only exist under the reserved-zero policy.
         self.zero_semantics = self.policy.reads_return_zero

@@ -65,6 +65,12 @@ class SimulationError(ReproError):
     """Generic full-system simulation error (inconsistent component state)."""
 
 
+class ObservabilityError(ReproError):
+    """Misuse of the telemetry layer (:mod:`repro.obs`): a malformed
+    instrument name, a kind conflict on registration, a non-monotonic
+    counter update, or snapshots that cannot be merged."""
+
+
 class ExperimentError(ReproError):
     """An :class:`~repro.exec.Experiment` is malformed or cannot be run
     (unknown workload kind, unserialisable parameter, bad batch)."""

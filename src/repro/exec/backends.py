@@ -49,6 +49,7 @@ from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple, Union)
 
 from ..errors import BackendError, WireProtocolError
+from ..obs import DEFAULT_DURATION_BUCKETS_NS, MetricsRegistry
 from ..sim.system import SystemReport
 from .experiment import Experiment
 from .wire import (MSG_ERROR, MSG_RESULT, recv_message, run_request,
@@ -189,13 +190,19 @@ class _Task:
 class _WorkerState:
     """Health bookkeeping for one remote worker endpoint."""
 
-    __slots__ = ("address", "consecutive_failures", "alive", "completed")
+    __slots__ = ("address", "consecutive_failures", "alive", "completed",
+                 "last_metrics")
 
     def __init__(self, address: Tuple[str, int]) -> None:
         self.address = address
         self.consecutive_failures = 0
         self.alive = True
         self.completed = 0
+        # The worker's latest cumulative registry snapshot. Kept
+        # last-wins (not merged per frame) because each frame carries
+        # the worker's running totals; merging every frame would
+        # multiply-count them.
+        self.last_metrics: Optional[Dict[str, Any]] = None
 
 
 class _WorkerDown(Exception):
@@ -208,6 +215,10 @@ class _WorkerDown(Exception):
 
 class _TaskFailed(Exception):
     """The task attempt itself failed (timeout or an error reply)."""
+
+    def __init__(self, message: str, *, timed_out: bool = False) -> None:
+        super().__init__(message)
+        self.timed_out = timed_out
 
 
 class DistributedBackend(ExecutionBackend):
@@ -235,6 +246,11 @@ class DistributedBackend(ExecutionBackend):
         before a worker is declared dead and its tasks re-queued for
         the survivors. When every worker is dead with work still
         outstanding the batch fails.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` receiving ``exec.dist.*``
+        dispatch telemetry (requeues, retries, timeouts, per-task wall
+        time) plus each worker's merged ``exec.worker.*`` counters.
+        Defaults to a private registry.
     """
 
     def __init__(self, workers: Sequence[Address], *,
@@ -243,7 +259,8 @@ class DistributedBackend(ExecutionBackend):
                  backoff_base: float = 0.05,
                  backoff_cap: float = 2.0,
                  connect_timeout: float = 5.0,
-                 max_worker_failures: int = 3) -> None:
+                 max_worker_failures: int = 3,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         addresses = [parse_address(worker) for worker in workers]
         if not addresses:
             raise BackendError("DistributedBackend needs at least one worker")
@@ -254,6 +271,20 @@ class DistributedBackend(ExecutionBackend):
         self.backoff_cap = float(backoff_cap)
         self.connect_timeout = float(connect_timeout)
         self.max_worker_failures = int(max_worker_failures)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_completed = self.metrics.counter(
+            "exec.dist.tasks_completed", unit="ops")
+        self._m_requeues = self.metrics.counter(
+            "exec.dist.requeues", unit="ops")
+        self._m_task_failures = self.metrics.counter(
+            "exec.dist.task_failures", unit="ops")
+        self._m_timeouts = self.metrics.counter(
+            "exec.dist.timeouts", unit="ops")
+        self._m_worker_failures = self.metrics.counter(
+            "exec.dist.worker_failures", unit="ops")
+        self._m_task_duration = self.metrics.histogram(
+            "exec.dist.task_duration_ns", unit="ns",
+            buckets=DEFAULT_DURATION_BUCKETS_NS)
 
     def describe(self) -> str:
         endpoints = ",".join(f"{host}:{port}" for host, port in self.addresses)
@@ -310,6 +341,11 @@ class DistributedBackend(ExecutionBackend):
             stop.set()
             for thread in threads:
                 thread.join(timeout=5.0)
+            # Fold each worker's final cumulative snapshot in exactly
+            # once, after the dispatch threads are done writing them.
+            for state in states:
+                if state.last_metrics:
+                    self.metrics.merge_snapshot(state.last_metrics)
 
     def _drive_worker(self, state: _WorkerState, tasks: "queue.Queue[_Task]",
                       results: "queue.Queue[Tuple[str, Any, Any]]",
@@ -320,21 +356,27 @@ class DistributedBackend(ExecutionBackend):
                 task = tasks.get(timeout=0.05)
             except queue.Empty:
                 continue
+            started = time.perf_counter_ns()
             try:
-                document = self._dispatch(state.address, task.payload)
+                document = self._dispatch(state, task.payload)
             except _WorkerDown as error:
                 # The endpoint's fault: requeue for the survivors,
                 # charge the worker's health, not the task.
                 tasks.put(task)
+                self._m_requeues.inc()
                 if notify is not None:
                     notify(task.label, "retry")
                 state.consecutive_failures += 1
                 if state.consecutive_failures >= self.max_worker_failures:
                     state.alive = False
+                    self._m_worker_failures.inc()
                     return
                 time.sleep(self._backoff(state.consecutive_failures))
             except _TaskFailed as error:
                 task.attempts += 1
+                self._m_task_failures.inc()
+                if error.timed_out:
+                    self._m_timeouts.inc()
                 if task.attempts > self.max_retries:
                     results.put(("fatal", BackendError(
                         f"experiment {task.label!r} failed after "
@@ -349,15 +391,18 @@ class DistributedBackend(ExecutionBackend):
             else:
                 state.consecutive_failures = 0
                 state.completed += 1
+                self._m_completed.inc()
+                self._m_task_duration.observe(time.perf_counter_ns() - started)
                 results.put(("result", task.index, document))
 
     def _backoff(self, attempts: int) -> float:
         return min(self.backoff_cap,
                    self.backoff_base * (2 ** max(attempts - 1, 0)))
 
-    def _dispatch(self, address: Tuple[str, int],
+    def _dispatch(self, state: _WorkerState,
                   payload: Dict[str, Any]) -> Dict[str, Any]:
         """Run one task on one worker; raise a classified failure."""
+        address = state.address
         try:
             sock = socket.create_connection(address,
                                             timeout=self.connect_timeout)
@@ -370,7 +415,8 @@ class DistributedBackend(ExecutionBackend):
                 reply = recv_message(sock)
             except socket.timeout:
                 raise _TaskFailed(
-                    f"no result within {self.task_timeout:g}s")
+                    f"no result within {self.task_timeout:g}s",
+                    timed_out=True)
             except (OSError, WireProtocolError) as error:
                 # Connection reset / truncated frame: the worker died
                 # (or went insane) mid-task.
@@ -378,6 +424,8 @@ class DistributedBackend(ExecutionBackend):
         finally:
             sock.close()
         if reply.get("type") == MSG_RESULT and "result" in reply:
+            if isinstance(reply.get("metrics"), dict):
+                state.last_metrics = reply["metrics"]
             return reply["result"]
         if reply.get("type") == MSG_ERROR:
             raise _TaskFailed(

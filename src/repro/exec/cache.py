@@ -117,6 +117,30 @@ class ResultCache:
         self.stats = CacheStats()
         self._memory: Dict[str, SystemReport] = {}
 
+    def bind_metrics(self, registry, *, prefix: str = "exec.cache") -> None:
+        """Mirror this cache's :class:`CacheStats` into a
+        :class:`~repro.obs.MetricsRegistry` under ``prefix``.
+
+        Registered as a pull collector, so the counters are current at
+        every ``registry.snapshot()`` without touching the lookup hot
+        path. ``CacheStats`` stays the source of truth.
+        """
+        stats = self.stats
+
+        def _collect() -> None:
+            for name, value in (
+                    ("memory_hits", stats.memory_hits),
+                    ("disk_hits", stats.disk_hits),
+                    ("hits", stats.hits),
+                    ("misses", stats.misses),
+                    ("stores", stats.stores),
+                    ("corrupt_entries", stats.corrupt_entries),
+            ):
+                registry.counter(f"{prefix}.{name}", unit="ops") \
+                    .set_total(value)
+
+        registry.register_collector(_collect)
+
     # -- keys ---------------------------------------------------------------------
 
     def key(self, experiment: Experiment) -> str:

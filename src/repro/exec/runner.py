@@ -22,12 +22,14 @@ label)`` callbacks are still accepted through a deprecation shim.
 from __future__ import annotations
 
 import inspect
+import time
 import warnings
 from dataclasses import dataclass
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Union)
 
 from ..errors import ExperimentError
+from ..obs import DEFAULT_DURATION_BUCKETS_NS, MetricsRegistry, span
 from ..sim.system import SystemReport
 from .backends import (ExecutionBackend, _execute_to_dict, _fork_context,
                        resolve_backend)
@@ -137,6 +139,12 @@ class Runner:
         unique experiment; ``"retry"`` events may fire any number of
         times. Legacy ``(completed, total, label)`` callables are
         adapted with a ``DeprecationWarning``.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` accumulating batch
+        telemetry: process-local ``exec.batch.*`` / ``exec.cache.*`` /
+        ``exec.task.*`` counters, plus every completed report's
+        embedded simulation metrics merged in. Defaults to a private
+        registry, exposed as ``runner.metrics``.
     """
 
     def __init__(self, jobs: int = 1, *,
@@ -144,13 +152,27 @@ class Runner:
                  cache: Optional[ResultCache] = None,
                  use_cache: bool = True,
                  progress: Optional[Union[ProgressEventFn,
-                                          ProgressFn]] = None) -> None:
+                                          ProgressFn]] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.backend = resolve_backend(jobs, backend)
         self.jobs = int(jobs)
         self.cache: Optional[ResultCache] = None
         if use_cache:
             self.cache = cache if cache is not None else default_cache()
         self.progress = _coerce_progress(progress)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if self.cache is not None:
+            self.cache.bind_metrics(self.metrics, prefix="exec.cache")
+        self._m_runs = self.metrics.counter("exec.batch.runs", unit="ops")
+        self._m_experiments = self.metrics.counter(
+            "exec.batch.experiments", unit="ops")
+        self._m_unique = self.metrics.counter("exec.batch.unique", unit="ops")
+        self._m_completed = self.metrics.counter(
+            "exec.task.completed", unit="ops")
+        self._m_retries = self.metrics.counter("exec.task.retries", unit="ops")
+        self._m_task_duration = self.metrics.histogram(
+            "exec.task.duration_ns", unit="ns",
+            buckets=DEFAULT_DURATION_BUCKETS_NS)
 
     # -- public API ---------------------------------------------------------------
 
@@ -171,32 +193,43 @@ class Runner:
         for experiment, digest in zip(batch, order):
             unique.setdefault(digest, experiment)
 
+        self._m_runs.inc()
+        self._m_experiments.inc(len(batch))
+        self._m_unique.inc(len(unique))
         self._total = len(unique)
         self._done = 0
         results: Dict[str, SystemReport] = {}
-        pending: List[Experiment] = []
-        for digest, experiment in unique.items():
-            cached = self.cache.get(experiment) \
-                if self.cache is not None else None
-            if cached is not None:
-                results[digest] = cached
-                self._complete(experiment, source="cache")
-            else:
-                pending.append(experiment)
+        with span("exec.batch", attrs={"experiments": len(batch),
+                                       "unique": len(unique),
+                                       "backend": self.backend.describe()}):
+            pending: List[Experiment] = []
+            for digest, experiment in unique.items():
+                cached = self.cache.get(experiment) \
+                    if self.cache is not None else None
+                if cached is not None:
+                    results[digest] = cached
+                    self._complete(experiment, cached, source="cache")
+                else:
+                    pending.append(experiment)
 
-        if pending:
-            completions = self.backend.submit(pending, notify=self._notify)
-            try:
-                for index, report in completions:
-                    experiment = pending[index]
-                    results[experiment.content_hash()] = report
-                    if self.cache is not None:
-                        self.cache.put(experiment, report)
-                    self._complete(experiment, source="worker")
-            finally:
-                close = getattr(completions, "close", None)
-                if close is not None:
-                    close()             # tear down workers promptly
+            if pending:
+                completions = self.backend.submit(pending,
+                                                  notify=self._notify)
+                last_arrival = time.perf_counter_ns()
+                try:
+                    for index, report in completions:
+                        now = time.perf_counter_ns()
+                        self._m_task_duration.observe(now - last_arrival)
+                        last_arrival = now
+                        experiment = pending[index]
+                        results[experiment.content_hash()] = report
+                        if self.cache is not None:
+                            self.cache.put(experiment, report)
+                        self._complete(experiment, report, source="worker")
+                finally:
+                    close = getattr(completions, "close", None)
+                    if close is not None:
+                        close()             # tear down workers promptly
 
         missing = self._total - len(results)
         if missing:     # pragma: no cover - backend contract violation
@@ -211,8 +244,15 @@ class Runner:
 
     # -- progress -----------------------------------------------------------------
 
-    def _complete(self, experiment: Experiment, *, source: str) -> None:
+    def _complete(self, experiment: Experiment, report: SystemReport, *,
+                  source: str) -> None:
         self._done += 1
+        self._m_completed.inc()
+        # Fold the run's embedded simulation metrics into the batch
+        # registry — once per unique experiment, whichever path
+        # (cache or backend) produced the report.
+        if report.metrics:
+            self.metrics.merge_snapshot(report.metrics)
         if self.progress is not None:
             self.progress(ProgressEvent(
                 completed=self._done, total=self._total,
@@ -220,6 +260,8 @@ class Runner:
 
     def _notify(self, label: str, source: str) -> None:
         """Backend hook for non-completion events (retries)."""
+        if source == "retry":
+            self._m_retries.inc()
         if self.progress is not None:
             self.progress(ProgressEvent(
                 completed=self._done, total=self._total,

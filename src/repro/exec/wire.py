@@ -15,7 +15,9 @@ Message types (the ``"type"`` key of the decoded object):
     with exactly one ``result`` or ``error`` frame.
 ``result``
     Worker → dispatcher: ``{"type": "result", "result":
-    <SystemReport.to_dict()>}``.
+    <SystemReport.to_dict()>}``, optionally carrying ``"metrics"`` —
+    the worker's cumulative ``MetricsRegistry.snapshot()`` for merged
+    telemetry reporting.
 ``error``
     Worker → dispatcher: ``{"type": "error", "error": <message>,
     "kind": <exception class name>}``. The task failed but the worker
@@ -127,8 +129,16 @@ def run_request(experiment_doc: Dict[str, Any]) -> Dict[str, Any]:
     return {"type": MSG_RUN, "experiment": experiment_doc}
 
 
-def result_reply(report_doc: Dict[str, Any]) -> Dict[str, Any]:
-    return {"type": MSG_RESULT, "result": report_doc}
+def result_reply(report_doc: Dict[str, Any],
+                 metrics: Dict[str, Any] = None) -> Dict[str, Any]:
+    """A ``result`` frame; ``metrics`` optionally attaches the worker's
+    cumulative :meth:`~repro.obs.MetricsRegistry.snapshot` so the
+    dispatcher can merge per-worker telemetry. Readers that predate the
+    key ignore it."""
+    reply = {"type": MSG_RESULT, "result": report_doc}
+    if metrics is not None:
+        reply["metrics"] = metrics
+    return reply
 
 
 def error_reply(error: BaseException) -> Dict[str, Any]:

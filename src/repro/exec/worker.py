@@ -25,9 +25,12 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import socket
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+import time
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import BackendError, WireProtocolError
+from ..obs import DEFAULT_DURATION_BUCKETS_NS, MetricsRegistry
 from .wire import (MSG_OK, MSG_PING, MSG_PONG, MSG_RUN, MSG_SHUTDOWN,
                    error_reply, recv_message, result_reply, send_message)
 
@@ -44,19 +47,46 @@ class WorkerServer:
         Stop serving after this many ``run`` requests (``None`` =
         serve forever). Gives tests and batch deployments a bounded
         lifetime.
+    cache_dir:
+        When given, the worker consults/populates a
+        :class:`~repro.exec.ResultCache` rooted there before executing
+        each task, so repeated dispatches of the same experiment (e.g.
+        after a dispatcher restart) are served from disk. The cache key
+        includes the code-version salt, so worker and dispatcher code
+        drift can never serve stale results.
+    metrics:
+        The worker's :class:`~repro.obs.MetricsRegistry` (defaults to a
+        fresh one). Cumulative ``exec.worker.*`` counters ride on every
+        ``result`` frame for merged reporting by the dispatcher.
     """
 
     #: Idle limit for reading a request off an accepted connection.
     REQUEST_TIMEOUT = 30.0
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 max_tasks: Optional[int] = None) -> None:
+                 max_tasks: Optional[int] = None,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.host = host
         self.port = int(port)
         self.max_tasks = max_tasks
         self.tasks_served = 0
         self._socket: Optional[socket.socket] = None
         self._shutdown = False
+        self.cache = None
+        if cache_dir is not None:
+            from .cache import ResultCache
+            self.cache = ResultCache(cache_dir)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if self.cache is not None:
+            self.cache.bind_metrics(self.metrics, prefix="exec.worker.cache")
+        self._tasks_counter = self.metrics.counter(
+            "exec.worker.tasks_served", unit="ops")
+        self._errors_counter = self.metrics.counter(
+            "exec.worker.errors", unit="ops")
+        self._duration_hist = self.metrics.histogram(
+            "exec.worker.task_duration_ns", unit="ns",
+            buckets=DEFAULT_DURATION_BUCKETS_NS)
 
     def bind(self) -> int:
         """Bind and listen; returns the bound port."""
@@ -131,13 +161,33 @@ class WorkerServer:
         # Imported lazily so a worker process only pays for the
         # simulator once it actually receives work.
         from .backends import _execute_to_dict
+        started = time.perf_counter_ns()
         try:
             document = request["experiment"]
             if not isinstance(document, dict):
                 raise BackendError("run request carries no experiment dict")
-            return result_reply(_execute_to_dict(document))
+            report_doc = self._execute_cached(document)
+            self._tasks_counter.inc()
+            self._duration_hist.observe(time.perf_counter_ns() - started)
+            return result_reply(report_doc, metrics=self.metrics.snapshot())
         except Exception as error:      # noqa: BLE001 - survive any task
+            self._errors_counter.inc()
             return error_reply(error)
+
+    def _execute_cached(self, document: dict) -> dict:
+        """Run one experiment document, through the worker cache if any."""
+        from .backends import _execute_to_dict
+        if self.cache is None:
+            return _execute_to_dict(document)
+        from .experiment import Experiment
+        experiment = Experiment.from_dict(document)
+        cached = self.cache.get(experiment)
+        if cached is not None:
+            return cached.to_dict()
+        report_doc = _execute_to_dict(document)
+        from ..sim.system import SystemReport
+        self.cache.put(experiment, SystemReport.from_dict(report_doc))
+        return report_doc
 
     @staticmethod
     def _reply(connection: socket.socket, message: dict) -> None:
@@ -149,14 +199,20 @@ class WorkerServer:
 
 def serve(host: str = "127.0.0.1", port: int = 0, *,
           max_tasks: Optional[int] = None,
+          cache_dir: Optional[Union[str, Path]] = None,
+          emit_metrics: Optional[Union[str, Path]] = None,
           announce: Optional[Callable[[str], None]] = None) -> int:
     """Run a worker server in this process until shutdown.
 
     Returns the number of tasks served. ``announce`` (if given)
     receives a single ``"host:port"`` string once the socket is bound
     — the CLI prints it so scripts can scrape the ephemeral port.
+    ``cache_dir`` enables the worker-side result cache;
+    ``emit_metrics`` writes the worker's final registry snapshot as a
+    JSON-lines dump on shutdown.
     """
-    server = WorkerServer(host, port, max_tasks=max_tasks)
+    server = WorkerServer(host, port, max_tasks=max_tasks,
+                          cache_dir=cache_dir)
     bound_port = server.bind()
     if announce is not None:
         announce(f"{server.host}:{bound_port}")
@@ -166,6 +222,13 @@ def serve(host: str = "127.0.0.1", port: int = 0, *,
         pass
     finally:
         server.close()
+        if emit_metrics is not None:
+            from ..obs import write_jsonl
+            with open(emit_metrics, "w") as stream:
+                write_jsonl(server.metrics.snapshot(), stream,
+                            meta={"role": "worker",
+                                  "endpoint": f"{server.host}:{bound_port}",
+                                  "tasks_served": server.tasks_served})
     return server.tasks_served
 
 
@@ -174,9 +237,10 @@ def serve(host: str = "127.0.0.1", port: int = 0, *,
 # ---------------------------------------------------------------------------
 
 def _local_worker_main(channel, host: str,
-                       max_tasks: Optional[int]) -> None:
+                       max_tasks: Optional[int],
+                       cache_dir: Optional[str] = None) -> None:
     """Child-process entry: bind, report the port, then serve."""
-    server = WorkerServer(host, 0, max_tasks=max_tasks)
+    server = WorkerServer(host, 0, max_tasks=max_tasks, cache_dir=cache_dir)
     try:
         port = server.bind()
     except OSError as error:    # pragma: no cover - bind races are rare
@@ -212,6 +276,7 @@ class LocalWorker:
 
 def spawn_local_workers(count: int, *, host: str = "127.0.0.1",
                         max_tasks: Optional[int] = None,
+                        cache_dir: Optional[Union[str, Path]] = None,
                         start_timeout: float = 30.0) -> List[LocalWorker]:
     """Fork ``count`` worker processes on this machine.
 
@@ -229,8 +294,10 @@ def spawn_local_workers(count: int, *, host: str = "127.0.0.1",
     try:
         for _ in range(count):
             parent_channel, child_channel = context.Pipe()
+            cache_arg = str(cache_dir) if cache_dir is not None else None
             process = context.Process(target=_local_worker_main,
-                                      args=(child_channel, host, max_tasks),
+                                      args=(child_channel, host, max_tasks,
+                                            cache_arg),
                                       daemon=True)
             process.start()
             child_channel.close()
@@ -252,9 +319,11 @@ def spawn_local_workers(count: int, *, host: str = "127.0.0.1",
 @contextlib.contextmanager
 def local_worker_pool(count: int, *, host: str = "127.0.0.1",
                       max_tasks: Optional[int] = None,
+                      cache_dir: Optional[Union[str, Path]] = None,
                       ) -> Iterator[List[LocalWorker]]:
     """``with local_worker_pool(2) as workers:`` — spawn and clean up."""
-    workers = spawn_local_workers(count, host=host, max_tasks=max_tasks)
+    workers = spawn_local_workers(count, host=host, max_tasks=max_tasks,
+                                  cache_dir=cache_dir)
     try:
         yield workers
     finally:

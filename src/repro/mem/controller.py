@@ -36,13 +36,14 @@ class MemoryController:
 
     def __init__(self, device: MemoryDevice, *,
                  num_channels: int = 2, channel_bandwidth_gbps: float = 12.8,
-                 wear_leveler: Optional[StartGapWearLeveler] = None) -> None:
+                 wear_leveler: Optional[StartGapWearLeveler] = None,
+                 metrics=None, metrics_prefix: str = "mem.channel") -> None:
         self.device = device
         self.block_size = device.block_size
         self.channels = ChannelModel(num_channels, channel_bandwidth_gbps,
                                      device.block_size)
         self.wear_leveler = wear_leveler
-        self.stats = MemoryStats()
+        self.stats = MemoryStats(registry=metrics, prefix=metrics_prefix)
         # Bus probes (section 2.2 attack model): every payload crossing
         # the processor<->memory bus is shown to attached snoopers. With
         # processor-side counter-mode encryption they only ever see
@@ -52,11 +53,13 @@ class MemoryController:
 
     @classmethod
     def for_nvm(cls, device: MemoryDevice, config: NVMConfig, *,
-                wear_leveler: Optional[StartGapWearLeveler] = None) -> "MemoryController":
+                wear_leveler: Optional[StartGapWearLeveler] = None,
+                metrics=None) -> "MemoryController":
         return cls(device,
                    num_channels=config.num_channels,
                    channel_bandwidth_gbps=config.channel_bandwidth_gbps,
-                   wear_leveler=wear_leveler)
+                   wear_leveler=wear_leveler,
+                   metrics=metrics)
 
     # -- address remapping -------------------------------------------------
 

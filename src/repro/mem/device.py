@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..errors import AddressError, AlignmentError
+from ..obs import MetricsRegistry
 from .stats import MemoryStats
 
 
@@ -21,7 +22,9 @@ class MemoryDevice:
     def __init__(self, capacity_bytes: int, block_size: int = 64, *,
                  read_latency_ns: float, write_latency_ns: float,
                  read_energy_pj: float, write_energy_pj: float,
-                 functional: bool = True) -> None:
+                 functional: bool = True,
+                 metrics: Optional[MetricsRegistry] = None,
+                 metrics_prefix: str = "mem.device") -> None:
         if capacity_bytes % block_size != 0:
             raise AddressError("capacity must be a whole number of blocks")
         self.capacity_bytes = capacity_bytes
@@ -31,7 +34,7 @@ class MemoryDevice:
         self.read_energy_pj = read_energy_pj
         self.write_energy_pj = write_energy_pj
         self.functional = functional
-        self.stats = MemoryStats()
+        self.stats = MemoryStats(registry=metrics, prefix=metrics_prefix)
         # Sparse line store: absent lines read as zero-filled.
         self._lines: Dict[int, bytes] = {}
         self._zero_line = bytes(block_size)

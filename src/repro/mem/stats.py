@@ -1,12 +1,36 @@
-"""Counters collected by memory devices and controllers."""
+"""Counters collected by memory devices and controllers.
+
+Since the telemetry layer (:mod:`repro.obs`) landed, the numbers live
+in :class:`~repro.obs.MetricsRegistry` counters and
+:class:`MemoryStats` is a *view* over them: construct it bound to a
+registry and prefix (``MemoryStats(registry=reg, prefix="mem.nvm")``)
+and every ``record_read``/``record_write`` feeds instruments named
+``mem.nvm.reads``, ``mem.nvm.writes`` and so on, which exporters then
+dump alongside the rest of the stack. Constructed bare, it owns a
+private registry and behaves exactly like the original dataclass —
+same attributes, properties and ``snapshot()``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
+
+from ..obs import MetricsRegistry
+
+#: (field, unit) of each counter a MemoryStats view exposes.
+_COUNTER_FIELDS = (
+    ("reads", "ops"),
+    ("writes", "ops"),
+    ("bytes_read", "bytes"),
+    ("bytes_written", "bytes"),
+    ("bits_written", "bits"),
+    ("read_energy_pj", "pJ"),
+    ("write_energy_pj", "pJ"),
+    ("total_read_latency_ns", "ns"),
+    ("total_write_latency_ns", "ns"),
+)
 
 
-@dataclass
 class MemoryStats:
     """Access counters for one device or controller.
 
@@ -15,29 +39,41 @@ class MemoryStats:
     is what endurance and write energy scale with.
     """
 
-    reads: int = 0
-    writes: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-    bits_written: int = 0
-    read_energy_pj: float = 0.0
-    write_energy_pj: float = 0.0
-    total_read_latency_ns: float = 0.0
-    total_write_latency_ns: float = 0.0
+    def __init__(self, *, registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "mem.device") -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+        self._counters = {
+            name: self.registry.counter(f"{prefix}.{name}", unit=unit)
+            for name, unit in _COUNTER_FIELDS
+        }
+
+    # -- recording ----------------------------------------------------------------
 
     def record_read(self, nbytes: int, latency_ns: float, energy_pj: float) -> None:
-        self.reads += 1
-        self.bytes_read += nbytes
-        self.total_read_latency_ns += latency_ns
-        self.read_energy_pj += energy_pj
+        counters = self._counters
+        counters["reads"].inc()
+        counters["bytes_read"].inc(nbytes)
+        counters["total_read_latency_ns"].inc(latency_ns)
+        counters["read_energy_pj"].inc(energy_pj)
 
     def record_write(self, nbytes: int, bits_flipped: int, latency_ns: float,
                      energy_pj: float) -> None:
-        self.writes += 1
-        self.bytes_written += nbytes
-        self.bits_written += bits_flipped
-        self.total_write_latency_ns += latency_ns
-        self.write_energy_pj += energy_pj
+        counters = self._counters
+        counters["writes"].inc()
+        counters["bytes_written"].inc(nbytes)
+        counters["bits_written"].inc(bits_flipped)
+        counters["total_write_latency_ns"].inc(latency_ns)
+        counters["write_energy_pj"].inc(energy_pj)
+
+    # -- the dataclass-compatible view ----------------------------------------------
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(f"{type(self).__name__!r} object has no "
+                             f"attribute {name!r}")
 
     @property
     def total_energy_pj(self) -> float:
@@ -65,5 +101,17 @@ class MemoryStats:
             "avg_write_latency_ns": self.avg_write_latency_ns,
         }
 
+    # -- aggregation --------------------------------------------------------------
+
+    def merge(self, other: "MemoryStats") -> None:
+        """Fold another view's totals into this one (multi-channel /
+        multi-device aggregation for exporters; adds, never replaces,
+        so repeated snapshots don't double-count)."""
+        for name, _unit in _COUNTER_FIELDS:
+            self._counters[name].inc(getattr(other, name))
+
     def reset(self) -> None:
-        self.__init__()  # type: ignore[misc]
+        """Zero every counter in place, keeping the registry binding
+        (replacing the object would orphan the bound instruments)."""
+        for counter in self._counters.values():
+            counter.reset()

@@ -112,7 +112,8 @@ class RegionedStartGap:
         self.lines_per_region = lines_per_region
         self.gap_move_interval = gap_move_interval
         self.move_hook = move_hook
-        self.num_regions = (total_logical_lines + lines_per_region - 1)             // lines_per_region
+        self.num_regions = \
+            (total_logical_lines + lines_per_region - 1) // lines_per_region
         self._levelers: dict = {}
 
     @property

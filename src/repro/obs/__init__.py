@@ -1,0 +1,51 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+Zero-dependency metrics and tracing threaded through the whole stack:
+
+* :class:`MetricsRegistry` with typed instruments (:class:`Counter`,
+  :class:`Gauge`, :class:`Histogram`) under hierarchical names
+  (``mem.nvm.writes``, ``cache.counter.hits``, ``exec.task.*``).
+  Every :class:`~repro.sim.System` owns one; its snapshot rides on the
+  :class:`~repro.sim.system.SystemReport` so metrics cross the result
+  cache and the distributed wire protocol for free.
+* :func:`span` tracing for toolchain wall time (batch dispatch, trace
+  replay), collected by a :class:`SpanTracer`.
+* Exporters: JSON-lines dumps (``--emit-metrics``), Prometheus text,
+  and the ``repro stats`` table.
+
+See ``docs/OBSERVABILITY.md`` for the naming scheme and formats.
+"""
+
+from .exporters import (DUMP_FORMAT, MetricsDump, metrics_rows, read_jsonl,
+                        render_metrics_table, render_spans_table,
+                        to_prometheus, write_jsonl)
+from .registry import (DEFAULT_DURATION_BUCKETS_NS,
+                       DEFAULT_LATENCY_BUCKETS_NS, INF, Counter, Gauge,
+                       Histogram, Instrument, MetricsRegistry, check_name,
+                       merge_snapshots)
+from .spans import SpanRecord, SpanTracer, default_tracer, span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_DURATION_BUCKETS_NS",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "DUMP_FORMAT",
+    "Gauge",
+    "Histogram",
+    "INF",
+    "Instrument",
+    "MetricsDump",
+    "MetricsRegistry",
+    "SpanRecord",
+    "SpanTracer",
+    "check_name",
+    "default_tracer",
+    "merge_snapshots",
+    "metrics_rows",
+    "read_jsonl",
+    "render_metrics_table",
+    "render_spans_table",
+    "span",
+    "to_prometheus",
+    "write_jsonl",
+]

@@ -1,0 +1,170 @@
+"""Exporters: JSON-lines dumps, Prometheus text, human tables.
+
+One dump format crosses every boundary — the JSON-lines *metrics dump*
+written by ``--emit-metrics`` and read back by ``repro stats``:
+
+* one ``{"record": "meta", ...}`` header line,
+* one ``{"record": "metric", "name": ..., ...}`` line per instrument
+  (the instrument's snapshot entry, flattened), and
+* one ``{"record": "span", ...}`` line per recorded span.
+
+The Prometheus exporter renders a snapshot in the text exposition
+format (dots become underscores; histograms expose cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count``), so a dump can be
+dropped into any Prometheus-compatible scraper or pushgateway.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, List, Optional
+
+from ..errors import ObservabilityError
+from .registry import INF
+
+#: Version stamp on the first line of every JSON-lines dump.
+DUMP_FORMAT = 1
+
+
+def write_jsonl(snapshot: Dict[str, Dict[str, Any]], stream: IO[str], *,
+                spans: Optional[List[Dict[str, Any]]] = None,
+                meta: Optional[Dict[str, Any]] = None) -> int:
+    """Write one metrics dump; returns the number of lines written."""
+    lines = 0
+    header = {"record": "meta", "format": DUMP_FORMAT}
+    header.update(meta or {})
+    stream.write(json.dumps(header, sort_keys=True) + "\n")
+    lines += 1
+    for name in sorted(snapshot):
+        entry = dict(snapshot[name])
+        entry.update({"record": "metric", "name": name})
+        stream.write(json.dumps(entry, sort_keys=True) + "\n")
+        lines += 1
+    for record in spans or []:
+        entry = dict(record)
+        entry["record"] = "span"
+        stream.write(json.dumps(entry, sort_keys=True) + "\n")
+        lines += 1
+    return lines
+
+
+@dataclass
+class MetricsDump:
+    """A parsed JSON-lines dump: snapshot + spans + meta."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def read_jsonl(stream: IO[str]) -> MetricsDump:
+    """Parse a dump written by :func:`write_jsonl`."""
+    dump = MetricsDump()
+    for line_number, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            raise ObservabilityError(
+                f"metrics dump line {line_number} is not JSON: {error}")
+        kind = record.get("record")
+        if kind == "meta":
+            dump.meta = {k: v for k, v in record.items() if k != "record"}
+        elif kind == "metric":
+            name = record.get("name")
+            if not name:
+                raise ObservabilityError(
+                    f"metrics dump line {line_number}: metric without a name")
+            dump.metrics[name] = {k: v for k, v in record.items()
+                                  if k not in ("record", "name")}
+        elif kind == "span":
+            dump.spans.append({k: v for k, v in record.items()
+                               if k != "record"})
+        else:
+            raise ObservabilityError(
+                f"metrics dump line {line_number}: unknown record "
+                f"kind {kind!r}")
+    return dump
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_value(value: Any) -> str:
+    if isinstance(value, float) and value == int(value) \
+            and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("kind", "untyped")
+        flat = _prom_name(name)
+        lines.append(f"# TYPE {flat} {kind}")
+        if kind == "histogram":
+            for le, cumulative in entry.get("buckets", []):
+                label = INF if le == INF else _prom_value(float(le))
+                lines.append(f'{flat}_bucket{{le="{label}"}} '
+                             f"{_prom_value(cumulative)}")
+            lines.append(f"{flat}_sum {_prom_value(entry.get('sum', 0))}")
+            lines.append(f"{flat}_count {_prom_value(entry.get('count', 0))}")
+        else:
+            lines.append(f"{flat} {_prom_value(entry.get('value', 0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Human table (the `repro stats` view)
+# ---------------------------------------------------------------------------
+
+def metrics_rows(snapshot: Dict[str, Dict[str, Any]], *,
+                 prefix: str = "") -> List[Dict[str, Any]]:
+    """Flatten a snapshot into table rows, optionally name-filtered."""
+    rows = []
+    for name in sorted(snapshot):
+        if prefix and not name.startswith(prefix):
+            continue
+        entry = snapshot[name]
+        kind = entry.get("kind", "?")
+        if kind == "histogram":
+            count = entry.get("count", 0)
+            total = entry.get("sum", 0)
+            mean = total / count if count else 0.0
+            value = f"count={count} mean={mean:.1f}"
+        else:
+            value = entry.get("value", 0)
+        rows.append({"metric": name, "kind": kind,
+                     "value": value, "unit": entry.get("unit", "")})
+    return rows
+
+
+def render_metrics_table(snapshot: Dict[str, Dict[str, Any]], *,
+                         prefix: str = "", title: str = "") -> str:
+    from ..analysis.report import render_table
+    return render_table(metrics_rows(snapshot, prefix=prefix),
+                        columns=["metric", "kind", "value", "unit"],
+                        title=title)
+
+
+def render_spans_table(spans: List[Dict[str, Any]], *,
+                       title: str = "") -> str:
+    from ..analysis.report import render_table
+    rows = [{
+        "span": "  " * record.get("depth", 0) + record.get("name", "?"),
+        "duration_ms": record.get("duration_ns", 0) / 1e6,
+        "attrs": json.dumps(record.get("attrs", {}), sort_keys=True),
+    } for record in spans]
+    return render_table(rows, columns=["span", "duration_ms", "attrs"],
+                        title=title)

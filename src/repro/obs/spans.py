@@ -1,0 +1,122 @@
+"""Lightweight span tracing: named, nested, attributed durations.
+
+A span brackets one logical operation (``fig12.run``, ``exec.batch``,
+``trace.replay``); spans opened inside it nest, recording parent and
+depth, so an exported trace reconstructs the call tree. Spans are
+wall-clock (``time.perf_counter_ns``) — they time the *toolchain*, not
+the simulated machine, complementing the simulated-time metrics in the
+registry.
+
+Usage::
+
+    from repro.obs import span
+
+    with span("fig12.run", attrs={"sizes": 6}) as record:
+        ...
+        record.attrs["rows"] = len(rows)   # attrs may be set late
+
+Records accumulate in a :class:`SpanTracer` (module default, or pass
+``tracer=``). The tracer is deliberately tiny: no sampling, no
+propagation — just enough structure for the JSON-lines exporter and
+the ``repro stats`` table to show where a sweep's wall time went.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or still-open) span."""
+
+    name: str
+    index: int                      # position in the tracer's record list
+    parent_index: Optional[int]     # None for a root span
+    depth: int                      # 0 for a root span
+    start_ns: int
+    duration_ns: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "index": self.index,
+                "parent_index": self.parent_index, "depth": self.depth,
+                "start_ns": self.start_ns, "duration_ns": self.duration_ns,
+                "attrs": dict(self.attrs)}
+
+
+class SpanTracer:
+    """Collects spans; keeps a per-thread stack for nesting."""
+
+    def __init__(self, clock=time.perf_counter_ns) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._records: List[SpanRecord] = []
+
+    # -- the per-thread open-span stack -------------------------------------------
+
+    def _stack(self) -> List[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[SpanRecord]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- span lifecycle ------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def span(self, name: str,
+             attrs: Optional[Dict[str, Any]] = None) -> Iterator[SpanRecord]:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            record = SpanRecord(
+                name=name, index=len(self._records),
+                parent_index=None if parent is None else parent.index,
+                depth=0 if parent is None else parent.depth + 1,
+                start_ns=self._clock(), attrs=dict(attrs or {}))
+            self._records.append(record)
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            record.duration_ns = self._clock() - record.start_ns
+            stack.pop()
+
+    # -- export --------------------------------------------------------------------
+
+    @property
+    def records(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [record.to_dict() for record in self.records]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+
+_default_tracer = SpanTracer()
+
+
+def default_tracer() -> SpanTracer:
+    """The process-wide tracer :func:`span` records into by default."""
+    return _default_tracer
+
+
+def span(name: str, attrs: Optional[Dict[str, Any]] = None, *,
+         tracer: Optional[SpanTracer] = None):
+    """Open a span on the given (default: process-wide) tracer."""
+    return (tracer if tracer is not None else _default_tracer).span(
+        name, attrs)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import IO, Iterable, List, Tuple
 
 from ..errors import SimulationError
+from ..obs import span
 from .context import ExecutionContext
 
 
@@ -88,8 +89,9 @@ class TraceRecorder:
     # -- persistence --------------------------------------------------------------
 
     def dump(self, stream: IO[str]) -> int:
-        for event in self.events:
-            stream.write(event.to_json() + "\n")
+        with span("trace.dump", attrs={"events": len(self.events)}):
+            for event in self.events:
+                stream.write(event.to_json() + "\n")
         return len(self.events)
 
 
@@ -116,30 +118,32 @@ def replay_trace(ctx: ExecutionContext,
                               "recorded allocation")
 
     count = 0
-    for event in events:
-        count += 1
-        if event.op == "malloc":
-            new_base = ctx.malloc(event.value)
-            old_base = event.address
-            base_map.append((old_base, old_base + event.value, new_base))
-        elif event.op == "load":
-            ctx.load_u64(remap(event.address))
-        elif event.op == "store":
-            ctx.store_u64(remap(event.address), event.value)
-        elif event.op == "touch_r":
-            ctx.touch(remap(event.address), write=False)
-        elif event.op == "touch_w":
-            ctx.touch(remap(event.address), write=True)
-        elif event.op == "memset":
-            ctx.memset(remap(event.address), event.value)
-        elif event.op == "shred":
-            address = remap(event.address)
-            if ctx.machine.shred_register is not None:
-                ctx.shred(address, event.value)
+    with span("trace.replay") as record:
+        for event in events:
+            count += 1
+            if event.op == "malloc":
+                new_base = ctx.malloc(event.value)
+                old_base = event.address
+                base_map.append((old_base, old_base + event.value, new_base))
+            elif event.op == "load":
+                ctx.load_u64(remap(event.address))
+            elif event.op == "store":
+                ctx.store_u64(remap(event.address), event.value)
+            elif event.op == "touch_r":
+                ctx.touch(remap(event.address), write=False)
+            elif event.op == "touch_w":
+                ctx.touch(remap(event.address), write=True)
+            elif event.op == "memset":
+                ctx.memset(remap(event.address), event.value)
+            elif event.op == "shred":
+                address = remap(event.address)
+                if ctx.machine.shred_register is not None:
+                    ctx.shred(address, event.value)
+                else:
+                    ctx.memset(address, event.value * ctx.page_size)
+            elif event.op == "compute":
+                ctx.compute(event.value)
             else:
-                ctx.memset(address, event.value * ctx.page_size)
-        elif event.op == "compute":
-            ctx.compute(event.value)
-        else:
-            raise SimulationError(f"unknown trace op {event.op!r}")
+                raise SimulationError(f"unknown trace op {event.op!r}")
+        record.attrs["events"] = count
     return count

@@ -21,15 +21,17 @@ class Machine:
     """Hardware assembly at the physical-address level."""
 
     def __init__(self, config: SystemConfig, *, shredder: bool = True,
-                 policy: Optional[ShredPolicy] = None) -> None:
+                 policy: Optional[ShredPolicy] = None,
+                 metrics=None) -> None:
         self.config = config
         self.functional = config.functional
         self.block_size = config.block_size
+        self.metrics = metrics
         if shredder:
             self.controller: SecureMemoryController = SilentShredderController(
-                config, policy=policy)
+                config, policy=policy, metrics=metrics)
         else:
-            self.controller = SecureMemoryController(config)
+            self.controller = SecureMemoryController(config, metrics=metrics)
         self.hierarchy = CacheHierarchy(config, self._on_miss, self._on_writeback)
         self.shred_register: Optional[ShredRegister] = None
         if shredder:

@@ -18,6 +18,7 @@ from ..core.policies import ShredPolicy
 from ..cpu import Core
 from ..errors import SimulationError
 from ..kernel import Kernel
+from ..obs import MetricsRegistry
 from ..runtime import ExecutionContext
 from .machine import Machine
 
@@ -48,9 +49,16 @@ class SystemReport:
     write_energy_pj: float = 0.0
     bits_written: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Full :meth:`repro.obs.MetricsRegistry.snapshot` of the run. All
+    #: values are simulated quantities, so two runs of the same
+    #: experiment produce identical snapshots regardless of host, which
+    #: lets this field ride the result cache and the worker wire
+    #: protocol without breaking byte-identical report comparisons.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
-        data = {k: v for k, v in self.__dict__.items() if k != "extra"}
+        data = {k: v for k, v in self.__dict__.items()
+                if k not in ("extra", "metrics")}
         data.update(self.extra)
         return data
 
@@ -58,11 +66,13 @@ class SystemReport:
         """JSON-safe form that round-trips through :meth:`from_dict`.
 
         Unlike :meth:`as_dict` (which flattens ``extra`` for table
-        rendering), this keeps ``extra`` nested so reports can cross
-        process and disk boundaries losslessly.
+        rendering), this keeps ``extra`` and ``metrics`` nested so
+        reports can cross process and disk boundaries losslessly.
         """
-        data = {k: v for k, v in self.__dict__.items() if k != "extra"}
+        data = {k: v for k, v in self.__dict__.items()
+                if k not in ("extra", "metrics")}
         data["extra"] = dict(self.extra)
+        data["metrics"] = dict(self.metrics)
         return data
 
     @classmethod
@@ -76,6 +86,7 @@ class SystemReport:
         known = {f.name for f in dataclasses.fields(cls)}
         kwargs = {k: v for k, v in data.items() if k in known}
         kwargs["extra"] = dict(kwargs.get("extra") or {})
+        kwargs["metrics"] = dict(kwargs.get("metrics") or {})
         return cls(**kwargs)
 
 
@@ -84,15 +95,19 @@ class System:
 
     def __init__(self, config: Optional[SystemConfig] = None, *,
                  shredder: bool = True, policy: Optional[ShredPolicy] = None,
-                 name: str = "system") -> None:
+                 name: str = "system",
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.config = config if config is not None else default_config()
         self.name = name
-        self.machine = Machine(self.config, shredder=shredder, policy=policy)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.machine = Machine(self.config, shredder=shredder, policy=policy,
+                               metrics=self.metrics)
         self.kernel = Kernel(self.machine)
         self.kernel.system = self      # for TLB shootdowns on munmap
         self.cores = [Core(i, self.config.cpu)
                       for i in range(self.config.cpu.num_cores)]
         self.contexts: List[ExecutionContext] = []
+        self.metrics.register_collector(self._collect_metrics)
 
     @property
     def shredder_enabled(self) -> bool:
@@ -166,11 +181,13 @@ class System:
         from ..core.secure_memory import SecureMemoryStats
         from ..kernel.kernel import KernelStats
         from ..kernel.zeroing import ZeroingStats
-        from ..mem.stats import MemoryStats
         machine = self.machine
         machine.controller.stats = SecureMemoryStats()
-        machine.controller.device.stats = MemoryStats()
-        machine.controller.mem.stats = MemoryStats()
+        # Device/channel stats are registry-backed views: reset them in
+        # place so their bound instruments stay live (replacing them
+        # would orphan the registry's counters).
+        machine.controller.device.stats.reset()
+        machine.controller.mem.stats.reset()
         machine.controller.mem.channels.reset()
         for cache in [machine.hierarchy.l3, machine.hierarchy.l4,
                       *machine.hierarchy.l1, *machine.hierarchy.l2]:
@@ -186,6 +203,111 @@ class System:
             preserved = core.stats.cycles    # time keeps flowing
             core.stats = CoreStats()
             core.stats.cycles = preserved
+        if self.shred_register is not None:
+            self.shred_register.commands_accepted = 0
+            self.shred_register.commands_rejected = 0
+        # The registry mirrors the dataclasses just zeroed; reset it with
+        # them so the pull collector's monotonic publishes stay valid.
+        self.metrics.reset()
+
+    @property
+    def shred_register(self):
+        return self.machine.shred_register
+
+    def _collect_metrics(self) -> None:
+        """Pull collector: publish dataclass-backed statistics into the
+        registry at snapshot time.
+
+        Push-style instruments (``mem.nvm.*``, ``mem.channel.*``,
+        ``mem.ctrl.read_latency_ns``) update inline on the hot path;
+        everything that already has a well-tested dataclass home is
+        published here instead, so the simulation code keeps a single
+        source of truth per statistic.
+        """
+        registry = self.metrics
+        ctl = self.machine.controller.stats
+        for name, value in (
+                ("mem.ctrl.data_reads", ctl.data_reads),
+                ("mem.ctrl.data_writes", ctl.data_writes),
+                ("mem.ctrl.zero_fill_reads", ctl.zero_fill_reads),
+                ("mem.ctrl.counter_fetches", ctl.counter_fetches),
+                ("mem.ctrl.counter_writebacks", ctl.counter_writebacks),
+                ("mem.ctrl.reencryptions", ctl.reencryptions),
+                ("core.shredder.shreds", ctl.shreds),
+        ):
+            registry.counter(name, unit="ops").set_total(value)
+
+        cc = self.machine.controller.counter_cache.stats
+        for name, value in (
+                ("cache.counter.hits", cc.hits),
+                ("cache.counter.misses", cc.misses),
+                ("cache.counter.evictions", cc.evictions),
+                ("cache.counter.dirty_evictions", cc.dirty_evictions),
+        ):
+            registry.counter(name, unit="ops").set_total(value)
+        registry.gauge("cache.counter.entries", unit="entries").set(
+            float(len(self.machine.controller.counter_cache)))
+
+        hierarchy = self.machine.hierarchy
+        levels = {
+            "cache.l1": hierarchy.l1,
+            "cache.l2": hierarchy.l2,
+            "cache.l3": [hierarchy.l3],
+            "cache.l4": [hierarchy.l4],
+        }
+        for prefix, caches in levels.items():
+            for field_name in ("hits", "misses", "evictions"):
+                total = sum(getattr(c.stats, field_name) for c in caches)
+                registry.counter(f"{prefix}.{field_name}",
+                                 unit="ops").set_total(total)
+        for name, value in (
+                ("cache.hierarchy.zero_fills", hierarchy.zero_fills),
+                ("cache.hierarchy.memory_fetches", hierarchy.memory_fetches),
+                ("cache.hierarchy.writebacks", hierarchy.writebacks),
+        ):
+            registry.counter(name, unit="ops").set_total(value)
+
+        if self.shred_register is not None:
+            registry.counter("core.shredder.commands_accepted",
+                             unit="ops").set_total(
+                                 self.shred_register.commands_accepted)
+            registry.counter("core.shredder.commands_rejected",
+                             unit="ops").set_total(
+                                 self.shred_register.commands_rejected)
+
+        ks = self.kernel.stats
+        for name, value, unit in (
+                ("kernel.faults.minor", ks.minor_faults, "ops"),
+                ("kernel.faults.cow", ks.cow_faults, "ops"),
+                ("kernel.faults.huge", ks.huge_faults, "ops"),
+                ("kernel.faults.total_ns", ks.fault_ns, "ns"),
+                ("kernel.pages.allocated", ks.pages_allocated, "ops"),
+                ("kernel.pages.recycled", ks.pages_recycled, "ops"),
+                ("kernel.shred_syscalls", ks.shred_syscalls, "ops"),
+        ):
+            registry.counter(name, unit=unit).set_total(value)
+        zs = self.kernel.zeroing.stats
+        for name, value, unit in (
+                ("kernel.zeroing.pages_zeroed", zs.pages_zeroed, "ops"),
+                ("kernel.zeroing.memory_writes", zs.memory_writes, "ops"),
+                ("kernel.zeroing.memory_reads", zs.memory_reads, "ops"),
+                ("kernel.zeroing.latency_ns", zs.latency_ns, "ns"),
+                ("kernel.zeroing.cpu_busy_ns", zs.cpu_busy_ns, "ns"),
+                ("kernel.zeroing.cache_blocks_polluted",
+                 zs.cache_blocks_polluted, "ops"),
+                ("kernel.zeroing.total_ns", ks.zeroing_ns, "ns"),
+        ):
+            registry.counter(name, unit=unit).set_total(value)
+
+        for name, total, unit in (
+                ("cpu.instructions",
+                 sum(c.stats.instructions for c in self.cores), "ops"),
+                ("cpu.loads", sum(c.stats.loads for c in self.cores), "ops"),
+                ("cpu.stores", sum(c.stats.stores for c in self.cores), "ops"),
+        ):
+            registry.counter(name, unit=unit).set_total(total)
+        registry.gauge("cpu.cycles", unit="cycles").set(
+            max((c.stats.cycles for c in self.cores), default=0.0))
 
     def dump_stats(self) -> str:
         """A gem5-style multi-section statistics dump."""
@@ -261,4 +383,5 @@ class System:
         report.extra["counter_hits"] = float(ctl.counter_hits)
         report.extra["counter_misses"] = float(ctl.counter_misses)
         report.extra["reencryptions"] = float(ctl.reencryptions)
+        report.metrics = self.metrics.snapshot()
         return report

@@ -182,3 +182,54 @@ class TestExportConfig:
         path = tmp_path / "rows.csv"
         assert main(["figure", "policies", "--csv", str(path)]) == 0
         assert path.read_text().startswith("policy,")
+
+
+class TestObservabilityCli:
+    def test_compare_emits_metrics_dump(self, tmp_path, capsys):
+        dump_path = tmp_path / "metrics.jsonl"
+        assert main(["compare", "--benchmark", "HMMER", "--scale", "0.1",
+                     "--cores", "1", "--emit-metrics", str(dump_path)]) == 0
+        from repro.obs import read_jsonl
+        with open(dump_path, encoding="utf-8") as stream:
+            dump = read_jsonl(stream)
+        assert dump.meta["command"] == "compare"
+        assert dump.metrics["exec.batch.runs"]["value"] == 1
+        assert "mem.ctrl.data_writes" in dump.metrics
+        assert any(s["name"] == "exec.batch" for s in dump.spans)
+
+    def test_stats_renders_dump(self, tmp_path, capsys):
+        dump_path = tmp_path / "metrics.jsonl"
+        main(["compare", "--benchmark", "HMMER", "--scale", "0.1",
+              "--cores", "1", "--emit-metrics", str(dump_path)])
+        capsys.readouterr()
+        assert main(["stats", str(dump_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mem.ctrl.data_writes" in out
+        assert "exec.batch" in out
+
+    def test_stats_prometheus_and_prefix(self, tmp_path, capsys):
+        dump_path = tmp_path / "metrics.jsonl"
+        main(["compare", "--benchmark", "HMMER", "--scale", "0.1",
+              "--cores", "1", "--emit-metrics", str(dump_path)])
+        capsys.readouterr()
+        assert main(["stats", str(dump_path), "--format", "prom"]) == 0
+        assert "# TYPE mem_ctrl_data_writes counter" \
+            in capsys.readouterr().out
+        assert main(["stats", str(dump_path), "--prefix", "cache."]) == 0
+        out = capsys.readouterr().out
+        assert "cache.counter.hits" in out
+        assert "mem.ctrl.data_writes" not in out
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_spawn_local_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["figure", "fig12", "--spawn-local", "2"])
+        assert args.spawn_local == 2
+
+    def test_spawn_local_conflicts_with_workers(self, capsys):
+        assert main(["compare", "--benchmark", "HMMER", "--scale", "0.1",
+                     "--spawn-local", "1",
+                     "--workers", "127.0.0.1:1"]) == 1
+        assert "not both" in capsys.readouterr().err

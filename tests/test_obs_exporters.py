@@ -1,0 +1,94 @@
+"""Exporters: JSON-lines round-trip, Prometheus text, tables."""
+
+import io
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (MetricsRegistry, SpanTracer, read_jsonl,
+                       render_metrics_table, render_spans_table,
+                       to_prometheus, write_jsonl)
+
+
+def sample_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("mem.nvm.writes", unit="ops").inc(128)
+    registry.gauge("cache.counter.entries", unit="entries").set(65)
+    histogram = registry.histogram("mem.ctrl.read_latency_ns",
+                                   buckets=(50.0, 100.0), unit="ns")
+    histogram.observe(60)
+    histogram.observe(250)
+    return registry.snapshot()
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        tracer = SpanTracer(clock=iter(range(0, 100, 5)).__next__)
+        with tracer.span("outer"):
+            with tracer.span("inner", attrs={"n": 3}):
+                pass
+        snapshot = sample_snapshot()
+        stream = io.StringIO()
+        lines = write_jsonl(snapshot, stream, spans=tracer.snapshot(),
+                            meta={"command": "test"})
+        assert lines == 1 + len(snapshot) + 2
+        stream.seek(0)
+        dump = read_jsonl(stream)
+        assert dump.metrics == snapshot
+        assert dump.meta["command"] == "test"
+        assert [s["name"] for s in dump.spans] == ["outer", "inner"]
+        assert dump.spans[1]["parent_index"] == 0
+
+    def test_bad_json_line_raises(self):
+        with pytest.raises(ObservabilityError):
+            read_jsonl(io.StringIO("not json\n"))
+
+    def test_unknown_record_kind_raises(self):
+        with pytest.raises(ObservabilityError):
+            read_jsonl(io.StringIO('{"record": "wat"}\n'))
+
+    def test_metric_without_name_raises(self):
+        with pytest.raises(ObservabilityError):
+            read_jsonl(io.StringIO('{"record": "metric", "value": 1}\n'))
+
+    def test_blank_lines_skipped(self):
+        dump = read_jsonl(io.StringIO("\n\n"))
+        assert dump.metrics == {} and dump.spans == []
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = to_prometheus(sample_snapshot())
+        lines = text.splitlines()
+        assert "# TYPE mem_nvm_writes counter" in lines
+        assert "mem_nvm_writes 128" in lines
+        assert "# TYPE cache_counter_entries gauge" in lines
+        assert "# TYPE mem_ctrl_read_latency_ns histogram" in lines
+        assert 'mem_ctrl_read_latency_ns_bucket{le="50"} 0' in lines
+        assert 'mem_ctrl_read_latency_ns_bucket{le="100"} 1' in lines
+        assert 'mem_ctrl_read_latency_ns_bucket{le="+Inf"} 2' in lines
+        assert "mem_ctrl_read_latency_ns_sum 310" in lines
+        assert "mem_ctrl_read_latency_ns_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_empty_snapshot(self):
+        assert to_prometheus({}) == ""
+
+
+class TestTables:
+    def test_metrics_table_prefix_filter(self):
+        table = render_metrics_table(sample_snapshot(), prefix="mem.nvm")
+        assert "mem.nvm.writes" in table
+        assert "cache.counter.entries" not in table
+
+    def test_histogram_rendered_as_count_and_mean(self):
+        table = render_metrics_table(sample_snapshot())
+        assert "count=2 mean=155.0" in table
+
+    def test_spans_table_indents_by_depth(self):
+        tracer = SpanTracer(clock=iter(range(0, 100, 5)).__next__)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        table = render_spans_table(tracer.snapshot())
+        assert "outer" in table and "  inner" in table
