@@ -1,13 +1,22 @@
-"""Analysis layer: per-figure data-series builders and text reports.
+"""Analysis layer: figure builders, text reports, and static analysis.
 
-Each ``figN_*`` function runs the simulations behind one figure or
-table of the paper and returns plain data (lists of dict rows), which
-the benchmark harness prints and EXPERIMENTS.md records. The heavy
-builders delegate to the shared :class:`repro.exec.Runner`, so results
-persist in the content-addressed cache (warm reruns are file reads)
-and cold sweeps accept ``jobs=N`` for parallel execution.
+Two halves live here. The *data* half: each ``figN_*`` function runs
+the simulations behind one figure or table of the paper and returns
+plain data (lists of dict rows), which the benchmark harness prints
+and EXPERIMENTS.md records; the heavy builders delegate to the shared
+:class:`repro.exec.Runner`, so results persist in the content-addressed
+cache and cold sweeps accept ``jobs=N`` for parallel execution.
+
+The *static* half (``repro analyze`` / ``tools/analyze.py``): a
+dependency-free AST analyzer — :class:`Analyzer` runs the registered
+pass families (determinism, layering, shred-semantics, metrics
+namespace, concurrency, format) over the tree and reports
+``REPRO###``-coded violations. See ``docs/ANALYSIS.md`` for the rule
+catalog and suppression syntax.
 """
 
+from .engine import (AnalysisPass, AnalysisReport, Analyzer, SourceFile,
+                     Violation, module_name)
 from .figures import (
     fig4_memset,
     fig5_zeroing_writes,
@@ -17,17 +26,30 @@ from .figures import (
     ablation_policies,
     run_pair,
 )
+from .passes import builtin_passes, rule_catalog
 from .report import render_table, rows_to_csv, rows_to_json
+from .reporters import render_json, render_text, report_from_json
 
 __all__ = [
+    "AnalysisPass",
+    "AnalysisReport",
+    "Analyzer",
+    "SourceFile",
+    "Violation",
     "ablation_policies",
+    "builtin_passes",
     "fig12_counter_cache_sweep",
     "fig4_memset",
     "fig5_zeroing_writes",
     "fig8_to_11_study",
+    "module_name",
+    "render_json",
     "render_table",
+    "render_text",
+    "report_from_json",
     "rows_to_csv",
     "rows_to_json",
+    "rule_catalog",
     "run_pair",
     "table2_mechanisms",
 ]

@@ -1,0 +1,344 @@
+"""The static-analysis engine: sources, suppressions, passes, runs.
+
+The ``repro.exec``/``repro.obs`` stack rests on invariants no runtime
+check can enforce cheaply — results must be deterministic so the
+content-addressed cache stays sound, the import graph must stay
+acyclic, and only the shred path may produce the reserved minor
+counter value. This module turns those rules into a dependency-free
+AST analyzer: each file is read and parsed **once** into a
+:class:`SourceFile`, every registered :class:`AnalysisPass` walks that
+shared tree, and violations come back as ``REPRO###``-coded records
+that the reporters render as ``path:line: code message`` text (clickable
+in editors and CI logs) or JSON.
+
+Suppressions are line-level comments with a *required* justification::
+
+    value = time.time()  # repro: suppress REPRO101 -- wall clock is the point here
+
+A suppression without a justification (or without a valid code) is
+itself a violation (``REPRO010``), so exemptions stay auditable.
+
+Entry points: ``repro analyze`` (CLI) and ``tools/analyze.py`` (CI).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Set, Tuple, Union)
+
+#: Directories searched when ``Analyzer.run`` is given no paths.
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "tools")
+
+#: Path fragments excluded from default runs. The analysis fixtures are
+#: intentionally-bad files; analyzing them would defeat their purpose.
+DEFAULT_EXCLUDES = ("tests/fixtures/analysis",)
+
+#: Rule code shape: three-digit codes in the REPRO namespace.
+CODE_RE = re.compile(r"^REPRO\d{3}$")
+
+#: The suppression comment grammar. Everything after ``suppress`` up to
+#: ``--`` is a comma/space-separated code list; the justification after
+#: ``--`` is mandatory.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*suppress\b(?P<rest>.*)$")
+
+#: Code of the engine-level "malformed suppression" rule.
+CODE_BAD_SUPPRESSION = "REPRO010"
+
+#: Code of the "file does not parse" rule (shared with the format pass
+#: family, which documents it).
+CODE_SYNTAX_ERROR = "REPRO001"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source line."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+    pass_name: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "line": self.line, "code": self.code,
+                "message": self.message, "pass": self.pass_name}
+
+    @property
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.code)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: suppress`` comment."""
+
+    line: int
+    codes: Set[str]
+    justification: str
+
+
+def module_name(path: Union[str, Path], root: Union[str, Path]) -> str:
+    """The dotted module a file would import as, relative to ``root``.
+
+    A ``src`` path component resets the package root (``src/repro/x.py``
+    is module ``repro.x`` whichever directory the analyzer rooted at),
+    and ``__init__`` maps to its package.
+    """
+    path = Path(path)
+    try:
+        rel = path.resolve().relative_to(Path(root).resolve())
+    except ValueError:
+        rel = path
+    parts = list(rel.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _comments(text: str) -> Iterator[Tuple[int, str]]:
+    """(line, comment text) for every real comment token in the source.
+
+    Tokenizing (rather than regexing lines) keeps suppression syntax
+    inside string literals and docstrings from being parsed as live
+    suppressions. Unparsable files yield whatever tokenized cleanly.
+    """
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def parse_suppressions(text: str) -> Tuple[
+        Dict[int, Set[str]], List[Tuple[int, str]]]:
+    """Extract per-line suppressed codes and malformed-comment problems."""
+    suppressed: Dict[int, Set[str]] = {}
+    problems: List[Tuple[int, str]] = []
+    for number, comment in _comments(text):
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            continue
+        rest = match.group("rest").strip()
+        codes_part, separator, justification = rest.partition("--")
+        codes = {token for token in re.split(r"[,\s]+", codes_part.strip())
+                 if token}
+        bad = sorted(code for code in codes if not CODE_RE.match(code))
+        if not codes:
+            problems.append((number, "suppression names no rule codes"))
+            continue
+        if bad:
+            problems.append(
+                (number, f"suppression names unknown-looking codes {bad}; "
+                         "use REPRO### codes"))
+            continue
+        if not separator or not justification.strip():
+            problems.append(
+                (number, "suppression lacks a justification; write "
+                         "'# repro: suppress REPRO### -- why this is ok'"))
+            continue
+        suppressed.setdefault(number, set()).update(codes)
+    return suppressed, problems
+
+
+class SourceFile:
+    """One analyzed file: text, lines, module name, and a single AST."""
+
+    def __init__(self, path: Union[str, Path], root: Union[str, Path],
+                 text: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.root = Path(root)
+        try:
+            self.display = str(self.path.resolve().relative_to(
+                self.root.resolve()))
+        except ValueError:
+            self.display = str(self.path)
+        if text is None:
+            raw = self.path.read_bytes()
+            text = raw.decode("utf-8")
+            self.ends_with_newline = (not raw) or raw.endswith(b"\n")
+        else:
+            self.ends_with_newline = (not text) or text.endswith("\n")
+        self.text = text
+        self.lines = text.splitlines()
+        self.module = module_name(self.path, self.root)
+        self.is_package = self.path.name == "__init__.py"
+        self.tree: Optional[ast.Module] = None
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(text, filename=str(self.path))
+        except SyntaxError as error:
+            self.syntax_error = error
+        self.suppressions, self.suppression_problems = \
+            parse_suppressions(text)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        return code in self.suppressions.get(line, ())
+
+
+@dataclass
+class AnalysisContext:
+    """Run-wide state shared by every pass.
+
+    ``root`` locates repo-level resources (e.g. the documented metric
+    namespace in ``docs/OBSERVABILITY.md``); ``cache`` lets passes
+    memoise expensive lookups across files.
+    """
+
+    root: Path
+    cache: Dict[str, Any] = field(default_factory=dict)
+
+
+class AnalysisPass:
+    """Base class: one family of related rules sharing a tree walk.
+
+    Subclasses declare a ``name``, a ``codes`` catalog (code → one-line
+    rule description), and a ``scope`` of dotted module prefixes the
+    pass applies to (empty = every file). :meth:`check` yields
+    ``(line, code, message)`` triples; the engine attaches path and
+    pass name and applies suppressions.
+    """
+
+    name = "abstract"
+    codes: Dict[str, str] = {}
+    scope: Tuple[str, ...] = ()
+    requires_ast = True
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if not self.scope:
+            return True
+        module = source.module
+        return any(module == prefix or module.startswith(prefix + ".")
+                   for prefix in self.scope)
+
+    def check(self, source: SourceFile,
+              context: AnalysisContext) -> Iterator[Tuple[int, str, str]]:
+        raise NotImplementedError
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analyzer run."""
+
+    root: str
+    files_checked: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for violation in self.violations:
+            tally[violation.code] = tally.get(violation.code, 0) + 1
+        return dict(sorted(tally.items()))
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _split_codes(value: Union[None, str, Iterable[str]]) -> Optional[Set[str]]:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = re.split(r"[,\s]+", value.strip())
+    codes = {token for token in value if token}
+    return codes or None
+
+
+class Analyzer:
+    """Runs a set of passes over a file tree, one parse per file."""
+
+    def __init__(self, root: Union[str, Path] = ".", *,
+                 passes: Optional[Sequence[AnalysisPass]] = None,
+                 select: Union[None, str, Iterable[str]] = None,
+                 ignore: Union[None, str, Iterable[str]] = None,
+                 exclude: Sequence[str] = DEFAULT_EXCLUDES) -> None:
+        if passes is None:
+            from .passes import builtin_passes
+            passes = builtin_passes()
+        self.root = Path(root)
+        self.passes = list(passes)
+        self.select = _split_codes(select)
+        self.ignore = _split_codes(ignore) or set()
+        self.exclude = tuple(exclude)
+
+    # -- file discovery ------------------------------------------------------
+
+    def _excluded(self, path: Path) -> bool:
+        posix = path.as_posix()
+        return any(fragment in posix for fragment in self.exclude)
+
+    def python_files(self,
+                     paths: Optional[Sequence[Union[str, Path]]] = None
+                     ) -> Iterator[Path]:
+        if paths is None:
+            paths = [self.root / name for name in DEFAULT_ROOTS]
+        for entry in paths:
+            entry = Path(entry)
+            if not entry.is_absolute() and not entry.exists():
+                entry = self.root / entry
+            if entry.is_file() and entry.suffix == ".py":
+                # Explicitly named files bypass the excludes: exclusion
+                # keeps intentionally-bad fixtures out of tree walks,
+                # not out of a user's deliberate reach.
+                yield entry
+            elif entry.is_dir():
+                for found in sorted(entry.rglob("*.py")):
+                    if not self._excluded(found):
+                        yield found
+
+    # -- rule filtering ------------------------------------------------------
+
+    def _wanted(self, code: str) -> bool:
+        if code in self.ignore:
+            return False
+        return self.select is None or code in self.select
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self, paths: Optional[Sequence[Union[str, Path]]] = None
+            ) -> AnalysisReport:
+        context = AnalysisContext(root=self.root)
+        report = AnalysisReport(root=str(self.root))
+        for path in self.python_files(paths):
+            report.files_checked += 1
+            self.check_source(SourceFile(path, self.root), context, report)
+        report.violations.sort(key=lambda violation: violation.sort_key)
+        return report
+
+    def check_source(self, source: SourceFile, context: AnalysisContext,
+                     report: AnalysisReport) -> None:
+        def emit(line: int, code: str, message: str, pass_name: str) -> None:
+            if not self._wanted(code):
+                return
+            if source.is_suppressed(line, code):
+                report.suppressed += 1
+                return
+            report.violations.append(Violation(
+                path=source.display, line=line, code=code,
+                message=message, pass_name=pass_name))
+
+        for line, message in source.suppression_problems:
+            emit(line, CODE_BAD_SUPPRESSION, message, "suppress")
+        if source.syntax_error is not None:
+            emit(source.syntax_error.lineno or 0, CODE_SYNTAX_ERROR,
+                 f"syntax error: {source.syntax_error.msg}", "format")
+        for analysis_pass in self.passes:
+            if not analysis_pass.applies_to(source):
+                continue
+            if analysis_pass.requires_ast and source.tree is None:
+                continue
+            for line, code, message in analysis_pass.check(source, context):
+                emit(line, code, message, analysis_pass.name)

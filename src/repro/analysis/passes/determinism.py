@@ -1,0 +1,173 @@
+"""The ``determinism`` pass family: no hidden entropy in simulation code.
+
+Results are content-addressed (``repro.exec.ResultCache``) and
+distributed runs must be byte-identical to serial runs, so simulation
+layers must take time and randomness by *injection* — an explicit
+``now_ns`` argument, a seeded ``random.Random(seed)`` — never from
+ambient sources. A stray ``time.time()`` or unseeded ``random.random()``
+in ``sim``/``core``/``mem``/``cache``/``kernel`` silently poisons the
+cache: two identical experiments would hash alike but report different
+numbers. Set iteration is flagged too: string hashing is randomized per
+process (``PYTHONHASHSEED``), so iterating a set can reorder events
+between runs — sort first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..engine import AnalysisContext, AnalysisPass, SourceFile
+
+#: Wall-clock attribute calls on the ``time`` module.
+_TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+})
+
+#: Constructor-style attribute calls on ``datetime``/``date`` objects.
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+#: Names importable from ``random`` that draw from the shared,
+#: ambient-seeded generator.
+_RANDOM_MODULE_FUNCS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "betavariate",
+    "expovariate", "getrandbits", "randbytes", "triangular", "seed",
+})
+
+#: Calls that produce OS entropy.
+_OS_ENTROPY = frozenset({"urandom", "getrandom"})
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the stdlib entities they alias.
+
+    Covers ``import time as _time`` and ``from random import randint``
+    so renaming an import cannot dodge the rules.
+    """
+    aliases: Dict[str, str] = {}
+    watched_modules = {"time", "random", "os", "secrets", "datetime", "uuid"}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                top = name.name.split(".")[0]
+                if top in watched_modules:
+                    aliases[name.asname or name.name.split(".")[0]] = top
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            top = node.module.split(".")[0]
+            if top in watched_modules:
+                for name in node.names:
+                    aliases[name.asname or name.name] = \
+                        f"{top}.{name.name}"
+    return aliases
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class DeterminismPass(AnalysisPass):
+    """Forbid ambient clocks, entropy, and set-order dependence."""
+
+    name = "determinism"
+    codes = {
+        "REPRO101": "wall-clock read in simulation code (inject a clock)",
+        "REPRO102": "unseeded randomness (use random.Random(seed))",
+        "REPRO103": "OS entropy source in simulation code",
+        "REPRO104": "iteration over a set (order is hash-randomized; "
+                    "sort first)",
+    }
+    scope = ("repro.sim", "repro.core", "repro.mem", "repro.cache",
+             "repro.kernel", "repro.cpu", "repro.crypto", "repro.integrity",
+             "repro.workloads", "repro.runtime")
+
+    def check(self, source: SourceFile,
+              context: AnalysisContext) -> Iterator[Tuple[int, str, str]]:
+        assert source.tree is not None
+        aliases = _collect_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                finding = self._check_call(node, aliases)
+                if finding is not None:
+                    yield finding
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expression(node.iter):
+                    yield (node.iter.lineno, "REPRO104",
+                           "iterating a set; order depends on "
+                           "PYTHONHASHSEED — iterate sorted(...) instead")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter):
+                        yield (generator.iter.lineno, "REPRO104",
+                               "comprehension over a set; order depends on "
+                               "PYTHONHASHSEED — iterate sorted(...) instead")
+
+    def _check_call(self, node: ast.Call,
+                    aliases: Dict[str, str]
+                    ) -> Optional[Tuple[int, str, str]]:
+        func = node.func
+        # Module-attribute calls: time.time(), random.choice(), ...
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = aliases.get(func.value.id, func.value.id)
+            if base == "time" and func.attr in _TIME_FUNCS:
+                return (node.lineno, "REPRO101",
+                        f"time.{func.attr}() in simulation code; take "
+                        "now_ns as a parameter instead")
+            if base in ("datetime", "datetime.datetime", "datetime.date") \
+                    and func.attr in _DATETIME_FUNCS:
+                return (node.lineno, "REPRO101",
+                        f"datetime.{func.attr}() in simulation code; "
+                        "inject timestamps instead")
+            if base == "random":
+                if func.attr == "Random":
+                    if not node.args and not node.keywords:
+                        return (node.lineno, "REPRO102",
+                                "random.Random() without a seed")
+                    return None
+                if func.attr == "SystemRandom":
+                    return (node.lineno, "REPRO103",
+                            "random.SystemRandom draws OS entropy")
+                if func.attr in _RANDOM_MODULE_FUNCS:
+                    return (node.lineno, "REPRO102",
+                            f"random.{func.attr}() uses the shared "
+                            "ambient-seeded generator; use "
+                            "random.Random(seed)")
+            if base == "os" and func.attr in _OS_ENTROPY:
+                return (node.lineno, "REPRO103",
+                        f"os.{func.attr}() is non-deterministic")
+            if base == "secrets":
+                return (node.lineno, "REPRO103",
+                        "secrets.* draws OS entropy")
+            if base == "uuid" and func.attr in ("uuid1", "uuid4"):
+                return (node.lineno, "REPRO103",
+                        f"uuid.{func.attr}() is non-deterministic")
+        # Bare-name calls resolved through from-imports: randint(), urandom()
+        if isinstance(func, ast.Name):
+            target = aliases.get(func.id)
+            if target is None:
+                return None
+            top, _, leaf = target.partition(".")
+            if top == "time" and leaf in _TIME_FUNCS:
+                return (node.lineno, "REPRO101",
+                        f"{leaf}() (from time) in simulation code")
+            if top == "random":
+                if leaf == "Random" and not node.args and not node.keywords:
+                    return (node.lineno, "REPRO102",
+                            "Random() without a seed")
+                if leaf in _RANDOM_MODULE_FUNCS:
+                    return (node.lineno, "REPRO102",
+                            f"{leaf}() (from random) uses the shared "
+                            "ambient-seeded generator")
+            if top == "os" and leaf in _OS_ENTROPY:
+                return (node.lineno, "REPRO103",
+                        f"{leaf}() (from os) is non-deterministic")
+            if top == "secrets":
+                return (node.lineno, "REPRO103",
+                        f"{leaf}() (from secrets) draws OS entropy")
+        return None

@@ -1,0 +1,131 @@
+"""The ``metrics`` pass family: registered names match the documented
+namespace.
+
+``docs/OBSERVABILITY.md`` declares the metric hierarchy (``mem.nvm.*``,
+``cache.counter.*``, ``exec.worker.*``, ...). Dashboards, the
+Prometheus exporter, and the snapshot-merge invariant all key on those
+prefixes, so a metric registered under an undocumented prefix is
+invisible to every consumer that matters. This pass cross-checks every
+*literal* instrument name passed to ``counter()``/``gauge()``/
+``histogram()`` (and every literal ``metrics_prefix=`` argument)
+against the prefixes parsed from the doc's namespace table. Names built
+at runtime (f-strings over a prefix variable) are out of static reach
+and are trusted to inherit a checked prefix.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+from ..engine import AnalysisContext, AnalysisPass, SourceFile
+
+#: Registration methods whose first positional argument is a metric name.
+_REGISTER_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: Keyword arguments that carry a namespace prefix for bound stats views.
+_PREFIX_KEYWORDS = frozenset({"metrics_prefix"})
+
+#: Fallback namespace when docs/OBSERVABILITY.md is absent (e.g. when a
+#: test roots the analyzer inside a fixture tree). Mirrors the doc.
+DEFAULT_PREFIXES = (
+    "mem.nvm", "mem.channel", "mem.ctrl", "mem.device", "mem.dram",
+    "cache.counter", "cache.l1", "cache.l2", "cache.l3", "cache.l4",
+    "cache.hierarchy", "core.shredder", "kernel", "cpu",
+    "exec.batch", "exec.task", "exec.cache", "exec.dist", "exec.worker",
+)
+
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+_RANGE_RE = re.compile(r"^(?P<head>.*?l)(?P<lo>\d+)\.\.l?(?P<hi>\d+)$")
+
+
+def _expand_prefix(token: str) -> List[str]:
+    """``cache.l1..l4.*`` → ``[cache.l1, cache.l2, cache.l3, cache.l4]``."""
+    token = token.strip()
+    if token.endswith(".*"):
+        token = token[:-2]
+    token = token.rstrip(".*")
+    if not token:
+        return []
+    match = _RANGE_RE.match(token)
+    if match:
+        head = match.group("head")
+        low, high = int(match.group("lo")), int(match.group("hi"))
+        return [f"{head[:-1]}l{i}" for i in range(low, high + 1)]
+    return [token]
+
+
+def load_documented_prefixes(root: Path) -> Tuple[str, ...]:
+    """Parse the namespace table of ``docs/OBSERVABILITY.md``.
+
+    Takes the first (Prefix) cell of every table row and expands its
+    backticked, comma-separated entries. Falls back to
+    :data:`DEFAULT_PREFIXES` when the doc is missing.
+    """
+    doc = root / "docs" / "OBSERVABILITY.md"
+    if not doc.is_file():
+        return DEFAULT_PREFIXES
+    prefixes: List[str] = []
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            continue
+        cells = stripped.split("|")
+        if len(cells) < 3:
+            continue
+        for span in _BACKTICK_RE.findall(cells[1]):
+            for token in span.split(","):
+                prefixes.extend(_expand_prefix(token))
+    return tuple(prefixes) if prefixes else DEFAULT_PREFIXES
+
+
+def _allowed(name: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(name == prefix or name.startswith(prefix + ".")
+               for prefix in prefixes)
+
+
+class MetricsNamespacePass(AnalysisPass):
+    """Literal metric registrations must sit in the documented tree."""
+
+    name = "metrics"
+    codes = {
+        "REPRO401": "metric name outside the namespace documented in "
+                    "docs/OBSERVABILITY.md",
+    }
+    scope = ("repro",)
+
+    def _prefixes(self, context: AnalysisContext) -> Tuple[str, ...]:
+        cached = context.cache.get("metrics.prefixes")
+        if cached is None:
+            cached = load_documented_prefixes(context.root)
+            context.cache["metrics.prefixes"] = cached
+        return cached
+
+    def check(self, source: SourceFile,
+              context: AnalysisContext) -> Iterator[Tuple[int, str, str]]:
+        assert source.tree is not None
+        prefixes = self._prefixes(context)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _REGISTER_METHODS and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) \
+                        and isinstance(first.value, str) \
+                        and "." in first.value \
+                        and not _allowed(first.value, prefixes):
+                    yield (node.lineno, "REPRO401",
+                           f"metric {first.value!r} is not under any "
+                           "documented prefix; extend the namespace "
+                           "table in docs/OBSERVABILITY.md or rename")
+            for keyword in node.keywords:
+                if keyword.arg in _PREFIX_KEYWORDS \
+                        and isinstance(keyword.value, ast.Constant) \
+                        and isinstance(keyword.value.value, str) \
+                        and not _allowed(keyword.value.value, prefixes):
+                    yield (keyword.value.lineno, "REPRO401",
+                           f"metrics prefix {keyword.value.value!r} is "
+                           "not in the documented namespace table")

@@ -1,0 +1,121 @@
+"""The ``shred`` pass family: protect the paper's security invariant.
+
+Silent Shredder reserves minor counter value 0 to mean "shredded —
+reads return zeros without touching NVM" (section 4.2, option three).
+That gives the codebase three rules a reviewer can no longer be asked
+to hold in their head:
+
+* only the shred seam (``core/iv.py``, ``core/policies.py``,
+  ``core/shredder.py``) may drive a minor counter to the reserved
+  value — anywhere else, a zeroed minor silently turns live data into
+  zero-fill reads (the persistence-based-attack surface of Yao &
+  Venkataramani, and the counter-integrity discipline of Phoenix);
+* the reserved value is written by name (``MINOR_SHREDDED``), never as
+  a bare ``0`` — overflow paths reset minors to 1
+  (``MINOR_AFTER_REENCRYPTION``), and a literal is how the two get
+  confused;
+* data reaches NVM through the counter-mode seam
+  (:class:`~repro.core.secure_memory.SecureMemoryController` and the
+  memory controllers under ``repro.mem``), never by ``device.poke`` —
+  a direct poke stores plaintext the IVs know nothing about.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..engine import AnalysisContext, AnalysisPass, SourceFile
+
+#: Modules allowed to write the reserved shredded minor value.
+SHRED_SEAM = ("repro.core.iv", "repro.core.policies", "repro.core.shredder")
+
+#: Modules allowed to call ``.poke`` (device tampering/bootstrapping is
+#: their job: the device model itself and the controller seams).
+POKE_SEAM = ("repro.mem", "repro.core.secure_memory", "repro.core.invmm",
+             "repro.core.deuce", "repro.core.direct")
+
+
+def _in(module: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(module == prefix or module.startswith(prefix + ".")
+               for prefix in prefixes)
+
+
+def _targets_minors(target: ast.expr) -> bool:
+    """Is this assignment target an element of a ``minors`` sequence?"""
+    if not isinstance(target, ast.Subscript):
+        return False
+    value = target.value
+    if isinstance(value, ast.Attribute):
+        return value.attr == "minors"
+    if isinstance(value, ast.Name):
+        return value.id == "minors"
+    return False
+
+
+def _is_reserved_value(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and node.value == 0 \
+            and node.value is not False:
+        return True
+    if isinstance(node, ast.Name) and node.id == "MINOR_SHREDDED":
+        return True
+    if isinstance(node, ast.Attribute) and node.attr == "MINOR_SHREDDED":
+        return True
+    return False
+
+
+def _is_literal_zero(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value == 0 \
+        and node.value is not False
+
+
+class ShredSemanticsPass(AnalysisPass):
+    """Only the shred path may produce minor counter 0."""
+
+    name = "shred"
+    codes = {
+        "REPRO301": "reserved shredded minor value written outside the "
+                    "shred seam",
+        "REPRO302": "minor counter set to bare literal 0 (use "
+                    "MINOR_SHREDDED, or 1/MINOR_AFTER_REENCRYPTION for "
+                    "overflow resets)",
+        "REPRO303": "direct device.poke() bypasses the secure-memory "
+                    "encryption seam",
+    }
+    scope = ("repro.core", "repro.mem", "repro.cache", "repro.kernel",
+             "repro.sim")
+
+    def check(self, source: SourceFile,
+              context: AnalysisContext) -> Iterator[Tuple[int, str, str]]:
+        assert source.tree is not None
+        in_shred_seam = _in(source.module, SHRED_SEAM)
+        in_poke_seam = _in(source.module, POKE_SEAM)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_minor_write(
+                        target, node.value, node.lineno, in_shred_seam)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield from self._check_minor_write(
+                    node.target, node.value, node.lineno, in_shred_seam)
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "poke" and not in_poke_seam:
+                yield (node.lineno, "REPRO303",
+                       "device.poke() writes NVM behind the counter-mode "
+                       "seam; go through the controller's store path")
+
+    def _check_minor_write(self, target: ast.expr, value: ast.expr,
+                           line: int, in_shred_seam: bool
+                           ) -> Iterator[Tuple[int, str, str]]:
+        if not _targets_minors(target):
+            return
+        if not in_shred_seam and _is_reserved_value(value):
+            yield (line, "REPRO301",
+                   "minor counter set to the reserved shredded value "
+                   "outside core/iv|policies|shredder; only the shred "
+                   "path may produce minor 0")
+        elif in_shred_seam and _is_literal_zero(value):
+            yield (line, "REPRO302",
+                   "write MINOR_SHREDDED, not a bare 0, so shred resets "
+                   "and overflow resets stay distinguishable")

@@ -1,0 +1,62 @@
+"""Reporters for analyzer runs: clickable text and schema'd JSON.
+
+The text reporter prints one ``path:line: CODE message`` line per
+violation (the grep/editor/CI-log convention ``tools/lint.py`` always
+used) plus a one-line summary. The JSON reporter emits a versioned
+document that round-trips through :func:`report_from_json`, so other
+tools can consume analyzer output without scraping text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .engine import AnalysisReport, Violation
+
+#: Version stamp of the JSON report schema.
+JSON_REPORT_VERSION = 1
+
+
+def render_text(report: AnalysisReport) -> str:
+    """One clickable line per violation, then a summary line."""
+    lines = [violation.render() for violation in report.violations]
+    if report.violations:
+        lines.append(f"analyze: {len(report.violations)} problem(s) in "
+                     f"{report.files_checked} file(s)"
+                     + (f", {report.suppressed} suppressed"
+                        if report.suppressed else ""))
+    else:
+        lines.append(f"analyze: {report.files_checked} file(s) clean"
+                     + (f", {report.suppressed} suppressed"
+                        if report.suppressed else ""))
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> Dict[str, Any]:
+    """The report as a JSON-safe document (see :func:`report_from_json`)."""
+    return {
+        "version": JSON_REPORT_VERSION,
+        "root": report.root,
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "counts": report.counts,
+        "violations": [violation.to_dict()
+                       for violation in report.violations],
+    }
+
+
+def report_from_json(document: Dict[str, Any]) -> AnalysisReport:
+    """Rebuild an :class:`AnalysisReport` from :func:`render_json` output."""
+    from ..errors import ConfigError
+    version = document.get("version")
+    if version != JSON_REPORT_VERSION:
+        raise ConfigError(f"unsupported analysis report version {version!r}"
+                          f" (expected {JSON_REPORT_VERSION})")
+    report = AnalysisReport(root=document.get("root", "."),
+                            files_checked=int(document.get("files_checked", 0)),
+                            suppressed=int(document.get("suppressed", 0)))
+    for entry in document.get("violations", []):
+        report.violations.append(Violation(
+            path=entry["path"], line=int(entry["line"]), code=entry["code"],
+            message=entry["message"], pass_name=entry.get("pass", "?")))
+    return report

@@ -16,8 +16,11 @@ Commands
 ``cache sweep``
     Apply LRU size/age bounds to the persistent result cache.
 ``stats``
-    Render a ``--emit-metrics`` JSON-lines dump as a table or
-    Prometheus text.
+    Render a ``--emit-metrics`` JSON-lines dump as a table,
+    Prometheus text, or a chrome://tracing span trace.
+``analyze``
+    Run the repo's static invariant checker (``REPRO###`` rules);
+    see ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -207,16 +210,19 @@ def _cmd_worker_serve(args: argparse.Namespace) -> int:
     served = serve(args.host, args.port, max_tasks=args.max_tasks,
                    cache_dir=args.cache_dir,
                    emit_metrics=args.emit_metrics,
-                   announce=lambda endpoint: print(
-                       f"repro worker listening on {endpoint}", flush=True))
+                   metrics_port=args.metrics_port,
+                   announce=lambda line: print(f"repro worker {line}",
+                                               flush=True))
     print(f"worker stopped after {served} tasks", file=sys.stderr)
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
     from .errors import ObservabilityError
     from .obs import (read_jsonl, render_metrics_table, render_spans_table,
-                      to_prometheus, write_jsonl)
+                      to_prometheus, to_trace_events, write_jsonl)
     try:
         with open(args.path) as stream:
             dump = read_jsonl(stream)
@@ -229,6 +235,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     elif args.format == "jsonl":
         write_jsonl(dump.metrics, sys.stdout, spans=dump.spans,
                     meta=dump.meta)
+    elif args.format == "trace":
+        json.dump(to_trace_events(dump.spans), sys.stdout)
+        sys.stdout.write("\n")
     else:
         print(render_metrics_table(dump.metrics, prefix=args.prefix or "",
                                    title=f"metrics — {args.path}"))
@@ -236,6 +245,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print()
             print(render_spans_table(dump.spans, title="spans"))
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import Analyzer, render_json, render_text, rule_catalog
+    if args.list_rules:
+        for code, entry in rule_catalog().items():
+            print(f"{code}  [{entry['pass']}]  {entry['summary']}")
+        return 0
+    analyzer = Analyzer(args.root, select=args.select, ignore=args.ignore)
+    report = analyzer.run(args.paths or None)
+    if args.format == "json":
+        json.dump(render_json(report), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
 
 
 def _parse_size(text: str) -> int:
@@ -369,6 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--emit-metrics", metavar="PATH", default=None,
                        help="write the worker's final metrics registry as "
                             "a JSON-lines dump on shutdown")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="also serve the live registry at "
+                            "http://HOST:PORT/metrics in the Prometheus "
+                            "text format (0 picks a free port; the "
+                            "endpoint is printed on startup)")
     serve.set_defaults(func=_cmd_worker_serve)
 
     cache = sub.add_parser("cache", help="persistent result cache upkeep")
@@ -387,12 +420,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "shared cache)")
     sweep.set_defaults(func=_cmd_cache_sweep)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the repo's static invariant checker (REPRO### rules)")
+    analyze.add_argument("paths", nargs="*",
+                         help="files or directories to check (default: the "
+                              "repo's source roots under --root)")
+    analyze.add_argument("--root", default=".",
+                         help="repository root for module names, docs "
+                              "lookups, and default paths (default: .)")
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="report format (default: text, one clickable "
+                              "path:line per violation)")
+    analyze.add_argument("--select", default=None, metavar="CODES",
+                         help="only enforce these comma-separated REPRO### "
+                              "codes")
+    analyze.add_argument("--ignore", default=None, metavar="CODES",
+                         help="skip these comma-separated REPRO### codes")
+    analyze.add_argument("--list-rules", action="store_true",
+                         help="print the rule catalog and exit")
+    analyze.set_defaults(func=_cmd_analyze)
+
     stats = sub.add_parser(
         "stats", help="render an --emit-metrics JSON-lines dump")
     stats.add_argument("path", help="dump file written by --emit-metrics")
-    stats.add_argument("--format", choices=("table", "prom", "jsonl"),
+    stats.add_argument("--format",
+                       choices=("table", "prom", "jsonl", "trace"),
                        default="table",
-                       help="output format (default: table)")
+                       help="output format (default: table; 'trace' emits "
+                            "the dump's spans as chrome://tracing JSON)")
     stats.add_argument("--prefix", default=None, metavar="NAME",
                        help="only show metrics under this dotted prefix "
                             "(e.g. mem.nvm)")

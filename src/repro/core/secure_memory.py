@@ -22,16 +22,20 @@ pad, write ciphertext.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..config import SystemConfig
 from ..crypto import CounterModeEngine, make_cipher
 from ..errors import AddressError
 from ..integrity import MerkleTree
 from ..mem import MemoryController, NVMDevice
-from ..obs import MetricsRegistry
 from ..cache.counter_cache import CounterCache, CounterEviction
 from .iv import CounterBlock, IVLayout, MINOR_SHREDDED
+
+if TYPE_CHECKING:
+    # Type-only: the controller takes an injected registry and must not
+    # import the telemetry layer at runtime (layering rule REPRO202).
+    from ..obs import MetricsRegistry
 
 #: Cycles charged for a Merkle path verification / update on a counter
 #: block fetched from (written to) NVM. Matches the "about 2% overhead"

@@ -201,27 +201,44 @@ def serve(host: str = "127.0.0.1", port: int = 0, *,
           max_tasks: Optional[int] = None,
           cache_dir: Optional[Union[str, Path]] = None,
           emit_metrics: Optional[Union[str, Path]] = None,
+          metrics_port: Optional[int] = None,
           announce: Optional[Callable[[str], None]] = None) -> int:
     """Run a worker server in this process until shutdown.
 
     Returns the number of tasks served. ``announce`` (if given)
-    receives a single ``"host:port"`` string once the socket is bound
-    — the CLI prints it so scripts can scrape the ephemeral port.
-    ``cache_dir`` enables the worker-side result cache;
+    receives one line per bound endpoint once the sockets are up —
+    first ``"listening on host:port"`` for the task socket, then
+    ``"metrics on http://.../metrics"`` when a scrape endpoint is
+    enabled — and the CLI prints them so scripts can scrape the
+    ephemeral ports. ``cache_dir`` enables the worker-side result
+    cache;
     ``emit_metrics`` writes the worker's final registry snapshot as a
-    JSON-lines dump on shutdown.
+    JSON-lines dump on shutdown; ``metrics_port`` additionally serves
+    the live registry at ``http://host:metrics_port/metrics`` in the
+    Prometheus text format for the worker's lifetime (``0`` asks the
+    OS for a free port; the endpoint is announced alongside the task
+    socket).
     """
     server = WorkerServer(host, port, max_tasks=max_tasks,
                           cache_dir=cache_dir)
     bound_port = server.bind()
+    scrape = None
+    if metrics_port is not None:
+        from ..obs import start_metrics_server
+        scrape = start_metrics_server(server.metrics, host=host,
+                                      port=metrics_port)
     if announce is not None:
-        announce(f"{server.host}:{bound_port}")
+        announce(f"listening on {server.host}:{bound_port}")
+        if scrape is not None:
+            announce(f"metrics on http://{scrape.endpoint}/metrics")
     try:
         server.serve_forever()
     except KeyboardInterrupt:   # pragma: no cover - interactive only
         pass
     finally:
         server.close()
+        if scrape is not None:
+            scrape.close()
         if emit_metrics is not None:
             from ..obs import write_jsonl
             with open(emit_metrics, "w") as stream:

@@ -11,6 +11,7 @@ and runs behave identically in worker processes.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.policies import make_policy
@@ -24,12 +25,17 @@ from .experiment import Experiment
 ExecutorFn = Callable[[System, Dict[str, Any]], Optional[Dict[str, float]]]
 
 _EXECUTORS: Dict[str, ExecutorFn] = {}
+#: Registration can race backend dispatch threads resolving executors
+#: (tests register custom kinds while a distributed batch is in
+#: flight), so writes to the registry take this lock.
+_EXECUTORS_LOCK = threading.Lock()
 
 
 def register_workload(kind: str) -> Callable[[ExecutorFn], ExecutorFn]:
     """Register an executor for ``Experiment(workload=kind, ...)``."""
     def decorate(fn: ExecutorFn) -> ExecutorFn:
-        _EXECUTORS[kind] = fn
+        with _EXECUTORS_LOCK:
+            _EXECUTORS[kind] = fn
         return fn
     return decorate
 

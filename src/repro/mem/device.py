@@ -9,11 +9,15 @@ parameter sweeps fast.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..errors import AddressError, AlignmentError
-from ..obs import MetricsRegistry
 from .stats import MemoryStats
+
+if TYPE_CHECKING:
+    # Type-only: devices take an injected registry and must not import
+    # the telemetry layer at runtime (layering rule REPRO202).
+    from ..obs import MetricsRegistry
 
 
 class MemoryDevice:

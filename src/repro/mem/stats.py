@@ -13,9 +13,13 @@ same attributes, properties and ``snapshot()``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
-from ..obs import MetricsRegistry
+if TYPE_CHECKING:
+    # Type-only at module level: mem must not import the telemetry
+    # layer at runtime (layering rule REPRO202). The bare-construction
+    # default in __init__ imports it lazily instead.
+    from ..obs import MetricsRegistry
 
 #: (field, unit) of each counter a MemoryStats view exposes.
 _COUNTER_FIELDS = (
@@ -41,7 +45,10 @@ class MemoryStats:
 
     def __init__(self, *, registry: Optional[MetricsRegistry] = None,
                  prefix: str = "mem.device") -> None:
-        self.registry = registry if registry is not None else MetricsRegistry()
+        if registry is None:
+            from ..obs import MetricsRegistry as _Registry
+            registry = _Registry()
+        self.registry = registry
         self.prefix = prefix
         self._counters = {
             name: self.registry.counter(f"{prefix}.{name}", unit=unit)

@@ -18,11 +18,13 @@ See ``docs/OBSERVABILITY.md`` for the naming scheme and formats.
 
 from .exporters import (DUMP_FORMAT, MetricsDump, metrics_rows, read_jsonl,
                         render_metrics_table, render_spans_table,
-                        to_prometheus, write_jsonl)
+                        to_prometheus, to_trace_events, write_jsonl)
 from .registry import (DEFAULT_DURATION_BUCKETS_NS,
                        DEFAULT_LATENCY_BUCKETS_NS, INF, Counter, Gauge,
                        Histogram, Instrument, MetricsRegistry, check_name,
                        merge_snapshots)
+from .scrape import (PROMETHEUS_CONTENT_TYPE, MetricsHTTPServer,
+                     start_metrics_server)
 from .spans import SpanRecord, SpanTracer, default_tracer, span
 
 __all__ = [
@@ -35,7 +37,9 @@ __all__ = [
     "INF",
     "Instrument",
     "MetricsDump",
+    "MetricsHTTPServer",
     "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     "SpanRecord",
     "SpanTracer",
     "check_name",
@@ -46,6 +50,8 @@ __all__ = [
     "render_metrics_table",
     "render_spans_table",
     "span",
+    "start_metrics_server",
     "to_prometheus",
+    "to_trace_events",
     "write_jsonl",
 ]

@@ -126,6 +126,45 @@ def to_prometheus(snapshot: Dict[str, Dict[str, Any]]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Chrome trace-event export (chrome://tracing, Perfetto, speedscope)
+# ---------------------------------------------------------------------------
+
+def to_trace_events(spans: List[Dict[str, Any]], *,
+                    pid: int = 0,
+                    process_name: str = "repro") -> Dict[str, Any]:
+    """Render span records in the Trace Event JSON format.
+
+    Each span becomes one complete ("ph": "X") event with microsecond
+    ``ts``/``dur`` (span records carry nanoseconds); the viewer nests
+    events on a track from their time ranges, so the tracer's
+    parent/depth structure reappears visually. Load the result in
+    ``chrome://tracing`` or https://ui.perfetto.dev. Span attrs ride in
+    ``args``, plus the record's index/parent_index so the exact tree is
+    recoverable from the export.
+    """
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for record in spans:
+        args = dict(record.get("attrs") or {})
+        args["index"] = record.get("index")
+        if record.get("parent_index") is not None:
+            args["parent_index"] = record.get("parent_index")
+        events.append({
+            "name": record.get("name", "?"),
+            "cat": "repro",
+            "ph": "X",
+            "ts": record.get("start_ns", 0) / 1000.0,
+            "dur": record.get("duration_ns", 0) / 1000.0,
+            "pid": pid,
+            "tid": 0,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ---------------------------------------------------------------------------
 # Human table (the `repro stats` view)
 # ---------------------------------------------------------------------------
 

@@ -102,6 +102,13 @@ class SpanTracer:
     def snapshot(self) -> List[Dict[str, Any]]:
         return [record.to_dict() for record in self.records]
 
+    def to_trace_events(self, *, pid: int = 0,
+                        process_name: str = "repro") -> Dict[str, Any]:
+        """The recorded spans as a ``chrome://tracing`` JSON document."""
+        from .exporters import to_trace_events
+        return to_trace_events(self.snapshot(), pid=pid,
+                               process_name=process_name)
+
     def clear(self) -> None:
         with self._lock:
             self._records.clear()

@@ -1,0 +1,6 @@
+"""Known-bad file for the format pass family (REPRO002-REPRO005)."""
+
+MESSAGE = "has	tab"
+PADDING = "trailing spaces follow"   
+LONG = "This line is padded well past the one hundred column limit so that the length rule fires here."
+NO_NEWLINE = True

@@ -1,0 +1,6 @@
+"""Suppressed twin of format_bad.py: each defect carries a justification."""
+
+MESSAGE = "has	tab"  # repro: suppress REPRO002 -- fixture: the tab is the payload
+PADDING = "x"  # repro: suppress REPRO003 -- fixture: the trailing blanks are the payload   
+LONG = "padded"  # repro: suppress REPRO004 -- fixture: this comment is stretched well past the hundred-column limit on purpose
+NO_NEWLINE = True  # repro: suppress REPRO005 -- fixture: the missing final newline is the payload

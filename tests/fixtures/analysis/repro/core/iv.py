@@ -1,0 +1,17 @@
+"""Shred-seam fixture: bare literal 0 inside the seam (REPRO302).
+
+The module path makes this ``repro.core.iv`` — inside the shred seam —
+so the reserved value is *allowed* here, but only by name; both its
+bad line and its suppressed twin live in this one file because the
+seam is identified by module path.
+"""
+
+MINOR_SHREDDED = 0
+
+
+def shred_page(minors, index):
+    minors[index] = 0
+
+
+def shred_page_justified(minors, index):
+    minors[index] = 0  # repro: suppress REPRO302 -- fixture: bare literal on purpose

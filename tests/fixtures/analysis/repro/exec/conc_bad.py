@@ -1,0 +1,16 @@
+"""Known-bad file for the concurrency family (REPRO501).
+
+A module-level registry mutated from functions with no module-level
+lock in sight.
+"""
+
+_REGISTRY = {}
+_PENDING = []
+
+
+def register(kind, fn):
+    _REGISTRY[kind] = fn
+
+
+def enqueue(task):
+    _PENDING.append(task)

@@ -1,0 +1,7 @@
+"""Suppressed twin of conc_bad.py: the unguarded mutation is justified."""
+
+_REGISTRY = {}
+
+
+def register(kind, fn):
+    _REGISTRY[kind] = fn  # repro: suppress REPRO501 -- fixture: filled before threads start

@@ -1,0 +1,17 @@
+"""Known-bad file for the shred family (REPRO301, REPRO303).
+
+``repro.kernel`` is outside both the shred seam and the poke seam, so
+writing the reserved minor value or poking the device directly is
+exactly what these rules exist to catch.
+"""
+
+MINOR_SHREDDED = 0
+
+
+def evict(minors, index):
+    minors[index] = 0
+    minors[index] = MINOR_SHREDDED
+
+
+def tamper(device, address):
+    device.poke(address, b"\x00" * 64)

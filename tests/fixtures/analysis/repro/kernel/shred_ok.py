@@ -1,0 +1,11 @@
+"""Suppressed twin of shred_bad.py: every finding carries a justification."""
+
+MINOR_SHREDDED = 0
+
+
+def evict(minors, index):
+    minors[index] = 0  # repro: suppress REPRO301 -- fixture: reserved write on purpose
+
+
+def tamper(device, address):
+    device.poke(address, b"\x00")  # repro: suppress REPRO303 -- fixture: raw poke on purpose

@@ -1,0 +1,9 @@
+"""Known-bad file for the layering family (REPRO201, REPRO202).
+
+A ``repro.mem`` module importing the toolchain at runtime (202) and
+reaching up the layer order into the kernel (201).
+"""
+
+import repro.kernel
+from repro.exec import Runner
+from repro.obs import MetricsRegistry

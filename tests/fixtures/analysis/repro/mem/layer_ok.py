@@ -1,0 +1,4 @@
+"""Suppressed twin of layer_bad.py: every finding carries a justification."""
+
+import repro.kernel  # repro: suppress REPRO201 -- fixture: upward import on purpose
+from repro.obs import snapshot  # repro: suppress REPRO202 -- fixture: obs import on purpose

@@ -1,0 +1,22 @@
+"""Known-bad file for the determinism family (REPRO101-REPRO104).
+
+Never executed; the analyzer walks the AST only.
+"""
+
+import os
+import random
+import time
+from datetime import datetime
+from random import randint
+
+
+def sample(events):
+    started = time.time()
+    when = datetime.now()
+    jitter = random.random()
+    rolled = randint(1, 6)
+    salt = os.urandom(8)
+    unseeded = random.Random()
+    for event in {"read", "write", "shred"}:
+        events.append(event)
+    return started, when, jitter, rolled, salt, unseeded

@@ -1,0 +1,14 @@
+"""Suppressed twin of det_bad.py: every finding carries a justification."""
+
+import os
+import random
+import time
+
+
+def sample(events):
+    started = time.time()  # repro: suppress REPRO101 -- fixture: ambient clock on purpose
+    jitter = random.random()  # repro: suppress REPRO102 -- fixture: ambient generator on purpose
+    salt = os.urandom(8)  # repro: suppress REPRO103 -- fixture: OS entropy on purpose
+    for event in {"read", "write"}:  # repro: suppress REPRO104 -- fixture: set order on purpose
+        events.append(event)
+    return started, jitter, salt

@@ -1,0 +1,10 @@
+"""Known-bad file for the metrics family (REPRO401).
+
+Registers instruments under prefixes no dashboard knows about.
+"""
+
+
+def register(registry, stats_cls):
+    registry.counter("bogus.namespace.events", unit="ops")
+    registry.histogram("totally.made.up_ns", unit="ns")
+    return stats_cls(registry, metrics_prefix="wrong.prefix")

@@ -1,0 +1,144 @@
+"""Engine mechanics: parsing, suppressions, filtering, reporters."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (Analyzer, module_name, render_json, render_text,
+                            report_from_json)
+from repro.analysis.engine import (CODE_BAD_SUPPRESSION, SourceFile,
+                                   parse_suppressions)
+from repro.errors import ConfigError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestModuleName:
+    def test_src_resets_package_root(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "mem" / "device.py"
+        assert module_name(path, tmp_path) == "repro.mem.device"
+
+    def test_init_maps_to_package(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "core" / "__init__.py"
+        assert module_name(path, tmp_path) == "repro.core"
+
+    def test_plain_tree_keeps_all_parts(self, tmp_path):
+        path = tmp_path / "repro" / "sim" / "system.py"
+        assert module_name(path, tmp_path) == "repro.sim.system"
+
+
+class TestSuppressions:
+    def test_well_formed_comment_parses(self):
+        text = "x = 1  # repro: suppress REPRO101, REPRO104 -- fixture\n"
+        suppressed, problems = parse_suppressions(text)
+        assert suppressed == {1: {"REPRO101", "REPRO104"}}
+        assert problems == []
+
+    def test_missing_justification_is_a_problem(self):
+        text = "x = 1  # repro: suppress REPRO101\n"
+        suppressed, problems = parse_suppressions(text)
+        assert suppressed == {}
+        assert len(problems) == 1 and "justification" in problems[0][1]
+
+    def test_missing_codes_is_a_problem(self):
+        _, problems = parse_suppressions(
+            "x = 1  # repro: suppress -- because\n")
+        assert len(problems) == 1 and "no rule codes" in problems[0][1]
+
+    def test_malformed_code_is_a_problem(self):
+        _, problems = parse_suppressions(
+            "x = 1  # repro: suppress E501 -- because\n")
+        assert len(problems) == 1 and "REPRO###" in problems[0][1]
+
+    def test_suppression_inside_string_is_ignored(self):
+        text = 'HELP = "write # repro: suppress REPRO101 on the line"\n'
+        suppressed, problems = parse_suppressions(text)
+        assert suppressed == {} and problems == []
+
+    def test_bad_suppression_surfaces_as_repro010(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1  # repro: suppress REPRO999x\n")
+        report = Analyzer(tmp_path).run([bad])
+        assert [v.code for v in report.violations] == [CODE_BAD_SUPPRESSION]
+
+
+class TestSourceFile:
+    def test_single_parse_and_metadata(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("value = 1\n")
+        source = SourceFile(path, tmp_path)
+        assert source.module == "repro.mod"
+        assert source.tree is not None and source.syntax_error is None
+        assert source.ends_with_newline
+
+    def test_syntax_error_recorded_not_raised(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        source = SourceFile(path, tmp_path)
+        assert source.tree is None and source.syntax_error is not None
+        report = Analyzer(tmp_path).run([path])
+        assert any(v.code == "REPRO001" for v in report.violations)
+
+
+class TestFiltering:
+    def _tmp_with_tab(self, tmp_path):
+        path = tmp_path / "mixed.py"
+        path.write_text("x = '\t'\ny = 1   \n")
+        return path
+
+    def test_select_narrows_to_named_codes(self, tmp_path):
+        path = self._tmp_with_tab(tmp_path)
+        report = Analyzer(tmp_path, select="REPRO002").run([path])
+        assert [v.code for v in report.violations] == ["REPRO002"]
+
+    def test_ignore_drops_named_codes(self, tmp_path):
+        path = self._tmp_with_tab(tmp_path)
+        report = Analyzer(tmp_path, ignore="REPRO002").run([path])
+        assert [v.code for v in report.violations] == ["REPRO003"]
+
+    def test_fixture_tree_excluded_by_default(self):
+        analyzer = Analyzer(REPO_ROOT)
+        files = list(analyzer.python_files())
+        assert files, "expected the repo's source roots to be found"
+        assert not any("fixtures/analysis" in f.as_posix() for f in files)
+
+    def test_explicitly_named_file_bypasses_excludes(self):
+        fixture = REPO_ROOT / "tests" / "fixtures" / "analysis" \
+            / "format_bad.py"
+        report = Analyzer(REPO_ROOT).run([fixture])
+        assert report.files_checked == 1 and not report.ok
+
+
+class TestReporters:
+    def _report(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("x = 1   \n")
+        return Analyzer(tmp_path).run([path])
+
+    def test_text_lines_are_clickable(self, tmp_path):
+        report = self._report(tmp_path)
+        text = render_text(report)
+        assert "bad.py:1: REPRO003" in text
+        assert "1 problem(s)" in text
+
+    def test_clean_report_says_clean(self, tmp_path):
+        (tmp_path / "fine.py").write_text("x = 1\n")
+        report = Analyzer(tmp_path).run([tmp_path / "fine.py"])
+        assert "1 file(s) clean" in render_text(report)
+
+    def test_json_round_trip(self, tmp_path):
+        report = self._report(tmp_path)
+        document = json.loads(json.dumps(render_json(report)))
+        rebuilt = report_from_json(document)
+        assert rebuilt.files_checked == report.files_checked
+        assert [v.to_dict() for v in rebuilt.violations] \
+            == [v.to_dict() for v in report.violations]
+        assert rebuilt.counts == report.counts
+
+    def test_json_version_mismatch_rejected(self, tmp_path):
+        document = render_json(self._report(tmp_path))
+        document["version"] = 999
+        with pytest.raises(ConfigError):
+            report_from_json(document)

@@ -1,0 +1,126 @@
+"""The pass families, driven through the known-bad fixture tree.
+
+Every family has a bad fixture whose rules must fire and a suppressed
+twin that must come back clean (violations converted to suppressions),
+plus the repo-wide gate: the analyzer must be clean on this repository.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Analyzer, builtin_passes, rule_catalog
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
+
+
+def run_fixture(name, select):
+    """Analyze one fixture file with one family's codes selected."""
+    analyzer = Analyzer(FIXTURES, select=select, exclude=())
+    return analyzer.run([FIXTURES / name])
+
+
+def fired(report):
+    return sorted({violation.code for violation in report.violations})
+
+
+FORMAT = "REPRO001,REPRO002,REPRO003,REPRO004,REPRO005"
+DETERMINISM = "REPRO101,REPRO102,REPRO103,REPRO104"
+LAYERING = "REPRO201,REPRO202"
+SHRED = "REPRO301,REPRO302,REPRO303"
+METRICS = "REPRO401"
+CONCURRENCY = "REPRO501"
+
+
+class TestFormatFamily:
+    def test_bad_fixture_fires(self):
+        report = run_fixture("format_bad.py", FORMAT)
+        assert fired(report) == ["REPRO002", "REPRO003", "REPRO004",
+                                 "REPRO005"]
+
+    def test_suppressed_twin_is_clean(self):
+        report = run_fixture("format_ok.py", FORMAT)
+        assert report.ok and report.suppressed >= 4
+
+
+class TestDeterminismFamily:
+    def test_bad_fixture_fires(self):
+        report = run_fixture("repro/sim/det_bad.py", DETERMINISM)
+        assert fired(report) == ["REPRO101", "REPRO102", "REPRO103",
+                                 "REPRO104"]
+
+    def test_suppressed_twin_is_clean(self):
+        report = run_fixture("repro/sim/det_ok.py", DETERMINISM)
+        assert report.ok and report.suppressed >= 4
+
+
+class TestLayeringFamily:
+    def test_bad_fixture_fires(self):
+        report = run_fixture("repro/mem/layer_bad.py", LAYERING)
+        assert fired(report) == ["REPRO201", "REPRO202"]
+
+    def test_suppressed_twin_is_clean(self):
+        report = run_fixture("repro/mem/layer_ok.py", LAYERING)
+        assert report.ok and report.suppressed >= 2
+
+
+class TestShredFamily:
+    def test_bad_fixture_fires_outside_seam(self):
+        report = run_fixture("repro/kernel/shred_bad.py", SHRED)
+        assert fired(report) == ["REPRO301", "REPRO303"]
+
+    def test_bare_zero_inside_seam_fires(self):
+        report = run_fixture("repro/core/iv.py", SHRED)
+        assert fired(report) == ["REPRO302"]
+        assert report.suppressed == 1   # the justified twin in the file
+
+    def test_suppressed_twin_is_clean(self):
+        report = run_fixture("repro/kernel/shred_ok.py", SHRED)
+        assert report.ok and report.suppressed >= 2
+
+
+class TestMetricsFamily:
+    def test_bad_fixture_fires(self):
+        report = run_fixture("repro/sim/metrics_bad.py", METRICS)
+        assert fired(report) == ["REPRO401"]
+        assert len(report.violations) == 3   # two names + one prefix kwarg
+
+    def test_suppressed_twin_is_clean(self):
+        report = run_fixture("repro/sim/metrics_ok.py", METRICS)
+        assert report.ok and report.suppressed == 1
+
+
+class TestConcurrencyFamily:
+    def test_bad_fixture_fires(self):
+        report = run_fixture("repro/exec/conc_bad.py", CONCURRENCY)
+        assert fired(report) == ["REPRO501"]
+        assert len(report.violations) == 2   # both unguarded globals
+
+    def test_suppressed_twin_is_clean(self):
+        report = run_fixture("repro/exec/conc_ok.py", CONCURRENCY)
+        assert report.ok and report.suppressed == 1
+
+
+class TestRepoGate:
+    def test_repository_is_analyzer_clean(self):
+        """The shipped tree passes its own checker (tools/analyze.py)."""
+        report = Analyzer(REPO_ROOT).run()
+        assert report.violations == [], "\n".join(
+            violation.render() for violation in report.violations)
+        assert report.files_checked > 100
+
+
+class TestCatalog:
+    def test_every_pass_code_is_catalogued(self):
+        catalog = rule_catalog()
+        for analysis_pass in builtin_passes():
+            for code in analysis_pass.codes:
+                assert code in catalog
+                assert catalog[code]["pass"] == analysis_pass.name
+
+    def test_codes_are_unique_across_families(self):
+        seen = {}
+        for analysis_pass in builtin_passes():
+            for code in analysis_pass.codes:
+                assert seen.setdefault(code, analysis_pass.name) \
+                    == analysis_pass.name
+        assert "REPRO010" in rule_catalog()

@@ -1,0 +1,111 @@
+"""The live Prometheus scrape endpoint (repro.obs.scrape)."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (PROMETHEUS_CONTENT_TYPE, MetricsRegistry,
+                       start_metrics_server)
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("mem.nvm.writes", unit="ops").inc(7)
+    registry.gauge("cache.counter.entries", unit="entries").set(3)
+    return registry
+
+
+def fetch(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, dict(response.headers), \
+            response.read().decode("utf-8")
+
+
+class TestScrapeEndpoint:
+    def test_metrics_route_serves_prometheus_text(self, registry):
+        with start_metrics_server(registry) as server:
+            status, headers, body = fetch(
+                f"http://{server.endpoint}/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        assert "mem_nvm_writes 7" in body
+        assert "cache_counter_entries 3" in body
+
+    def test_scrape_is_live_not_a_snapshot_at_bind(self, registry):
+        with start_metrics_server(registry) as server:
+            registry.counter("mem.nvm.writes").inc(5)
+            _, _, body = fetch(f"http://{server.endpoint}/metrics")
+        assert "mem_nvm_writes 12" in body
+
+    def test_index_and_health_routes(self, registry):
+        with start_metrics_server(registry) as server:
+            status, _, body = fetch(f"http://{server.endpoint}/")
+            health_status, _, _ = fetch(f"http://{server.endpoint}/health")
+        assert status == 200 and health_status == 200
+        assert "/metrics" in body
+
+    def test_unknown_route_is_404(self, registry):
+        with start_metrics_server(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(f"http://{server.endpoint}/nope")
+        assert excinfo.value.code == 404
+
+    def test_close_releases_the_port(self, registry):
+        server = start_metrics_server(registry)
+        endpoint = server.endpoint
+        server.close()
+        with pytest.raises(OSError):
+            fetch(f"http://{endpoint}/metrics", timeout=0.5)
+
+    def test_port_zero_picks_an_ephemeral_port(self, registry):
+        with start_metrics_server(registry, port=0) as server:
+            assert server.port > 0
+
+
+class TestWorkerWiring:
+    def test_serve_announces_metrics_endpoint(self):
+        """serve(metrics_port=0) brings up a scrapeable endpoint."""
+        import re
+        import socket
+        import threading
+
+        from repro.exec.worker import serve
+        from repro.exec.wire import recv_message, send_message
+
+        lines = []
+        done = threading.Event()
+
+        def run():
+            serve("127.0.0.1", 0, max_tasks=1, metrics_port=0,
+                  announce=lines.append)
+            done.set()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        for _ in range(200):
+            if len(lines) >= 2:
+                break
+            done.wait(0.05)
+        assert len(lines) == 2, lines
+        match = re.search(r"http://([\d.]+):(\d+)/metrics", lines[1])
+        assert match, lines[1]
+        _, _, body = fetch(match.group(0))
+        assert "exec_worker_tasks_served 0" in body
+        # Shut the worker down by serving its single allowed task.
+        task_match = re.search(r"listening on ([\d.]+):(\d+)", lines[0])
+        with socket.create_connection(
+                (task_match.group(1), int(task_match.group(2))),
+                timeout=10) as conn:
+            send_message(conn, {"type": "run", "experiment": "junk"})
+            recv_message(conn)
+        assert done.wait(10)
+
+    def test_cli_parses_metrics_port(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["worker", "serve", "--metrics-port", "9100"])
+        assert args.metrics_port == 9100
+        default = build_parser().parse_args(["worker", "serve"])
+        assert default.metrics_port is None

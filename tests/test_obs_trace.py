@@ -1,0 +1,71 @@
+"""Span export in the Trace Event (chrome://tracing) JSON format."""
+
+import json
+
+from repro.cli import main
+from repro.obs import MetricsRegistry, SpanTracer, to_trace_events, write_jsonl
+
+
+def make_tracer():
+    """Two nested spans with a deterministic injected clock (µs = ns/1000)."""
+    ticks = iter([1_000, 2_000, 5_000, 9_000])   # start/start/end/end ns
+    tracer = SpanTracer(clock=lambda: next(ticks))
+    with tracer.span("outer", attrs={"kind": "batch"}):
+        with tracer.span("inner"):
+            pass
+    return tracer
+
+
+class TestToTraceEvents:
+    def test_document_shape(self):
+        document = make_tracer().to_trace_events()
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"] == {"name": "repro"}
+        assert [event["ph"] for event in events[1:]] == ["X", "X"]
+
+    def test_nanoseconds_become_microseconds(self):
+        events = make_tracer().to_trace_events()["traceEvents"]
+        outer = next(e for e in events if e.get("name") == "outer")
+        inner = next(e for e in events if e.get("name") == "inner")
+        assert outer["ts"] == 1.0 and outer["dur"] == 8.0
+        assert inner["ts"] == 2.0 and inner["dur"] == 3.0
+
+    def test_tree_is_recoverable_from_args(self):
+        events = make_tracer().to_trace_events()["traceEvents"]
+        outer = next(e for e in events if e.get("name") == "outer")
+        inner = next(e for e in events if e.get("name") == "inner")
+        assert outer["args"]["kind"] == "batch"
+        assert "parent_index" not in outer["args"]
+        assert inner["args"]["parent_index"] == outer["args"]["index"]
+
+    def test_pid_and_process_name_overridable(self):
+        document = to_trace_events([], pid=7, process_name="worker-3")
+        meta = document["traceEvents"][0]
+        assert meta["pid"] == 7 and meta["args"]["name"] == "worker-3"
+
+    def test_json_serializable(self):
+        json.dumps(make_tracer().to_trace_events())
+
+
+class TestStatsTraceFormat:
+    def test_cli_renders_dump_spans_as_trace(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("mem.nvm.writes").inc(1)
+        dump_path = tmp_path / "metrics.jsonl"
+        with open(dump_path, "w") as stream:
+            write_jsonl(registry.snapshot(), stream,
+                        spans=make_tracer().snapshot())
+        assert main(["stats", str(dump_path), "--format", "trace"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        names = [event.get("name") for event in document["traceEvents"]]
+        assert names == ["process_name", "outer", "inner"]
+
+    def test_trace_of_spanless_dump_is_just_metadata(self, tmp_path, capsys):
+        dump_path = tmp_path / "metrics.jsonl"
+        with open(dump_path, "w") as stream:
+            write_jsonl({}, stream)
+        assert main(["stats", str(dump_path), "--format", "trace"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert [e["ph"] for e in document["traceEvents"]] == ["M"]

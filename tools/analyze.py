@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""CI entry point for the ``repro`` static invariant checker.
+
+Thin wrapper over ``repro analyze`` that roots the run at the
+repository (wherever it is checked out) and puts ``src`` on the path,
+so CI jobs and pre-commit hooks can run it with a bare
+``python tools/analyze.py`` from any working directory. Extra
+arguments pass straight through (``--format json``, ``--select``,
+explicit paths, ...); see ``docs/ANALYSIS.md`` for the rule catalog.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import main as repro_main
+    args = list(sys.argv[1:] if argv is None else argv)
+    return repro_main(["analyze", "--root", str(REPO_ROOT)] + args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,76 +1,41 @@
 #!/usr/bin/env python
-"""Dependency-free lint and format gate for CI.
+"""Format-only lint gate — a shim over the ``repro`` analyzer.
 
-Checks every Python file under the given roots (default: ``src``,
-``tests``, ``benchmarks``, ``tools``) for:
-
-* syntax errors (the file must compile),
-* tab characters,
-* trailing whitespace,
-* lines longer than ``MAX_LINE`` columns,
-* missing trailing newline.
-
-Exits non-zero with one ``path:line: message`` per violation, so the
-output is clickable in editors and CI logs alike. Runs on a bare
-CPython — no third-party linters required.
+The standalone checker this file used to contain now lives in
+``repro.analysis`` as the ``format`` pass family (rules
+``REPRO001``-``REPRO005``: syntax errors, tabs, trailing whitespace,
+over-long lines, missing trailing newline). This entry point keeps the
+historical interface — ``python tools/lint.py [paths...]``, one
+clickable ``path:line:`` per problem, non-zero exit on any — while
+delegating the checking itself, so the rules can never drift between
+the lint gate and ``repro analyze``.
 """
 
 from __future__ import annotations
 
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import List, Optional
 
-MAX_LINE = 100
-DEFAULT_ROOTS = ("src", "tests", "benchmarks", "tools")
-
-
-def python_files(roots: List[str]) -> Iterator[Path]:
-    for root in roots:
-        path = Path(root)
-        if path.is_file() and path.suffix == ".py":
-            yield path
-        elif path.is_dir():
-            yield from sorted(path.rglob("*.py"))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FORMAT_CODES = "REPRO001,REPRO002,REPRO003,REPRO004,REPRO005"
 
 
-def check_file(path: Path) -> List[Tuple[int, str]]:
-    problems: List[Tuple[int, str]] = []
-    raw = path.read_bytes()
-    text = raw.decode("utf-8")
-    try:
-        compile(text, str(path), "exec")
-    except SyntaxError as error:
-        return [(error.lineno or 0, f"syntax error: {error.msg}")]
-    if raw and not raw.endswith(b"\n"):
-        problems.append((text.count("\n") + 1, "missing trailing newline"))
-    for number, line in enumerate(text.splitlines(), start=1):
-        if "\t" in line:
-            problems.append((number, "tab character"))
-        if line != line.rstrip():
-            problems.append((number, "trailing whitespace"))
-        if len(line) > MAX_LINE:
-            problems.append(
-                (number, f"line too long ({len(line)} > {MAX_LINE})"))
-    return problems
-
-
-def main(argv: List[str]) -> int:
-    roots = argv or list(DEFAULT_ROOTS)
-    count = 0
-    checked = 0
-    for path in python_files(roots):
-        checked += 1
-        for number, message in check_file(path):
-            print(f"{path}:{number}: {message}")
-            count += 1
-    if count:
-        print(f"lint: {count} problem(s) in {checked} file(s)",
-              file=sys.stderr)
+def main(argv: Optional[List[str]] = None) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis import Analyzer
+    argv = list(sys.argv[1:] if argv is None else argv)
+    analyzer = Analyzer(REPO_ROOT, select=FORMAT_CODES)
+    report = analyzer.run(argv or None)
+    for violation in report.violations:
+        print(violation.render())
+    if report.violations:
+        print(f"lint: {len(report.violations)} problem(s) in "
+              f"{report.files_checked} file(s)", file=sys.stderr)
         return 1
-    print(f"lint: {checked} file(s) clean")
+    print(f"lint: {report.files_checked} file(s) clean")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main())
