@@ -299,6 +299,13 @@ class Analyzer:
                     if not self._excluded(found):
                         yield found
 
+    def source_files(self,
+                     paths: Optional[Sequence[Union[str, Path]]] = None
+                     ) -> List[SourceFile]:
+        """The parsed :class:`SourceFile` set a run would analyze."""
+        return [SourceFile(path, self.root)
+                for path in self.python_files(paths)]
+
     # -- rule filtering ------------------------------------------------------
 
     def _wanted(self, code: str) -> bool:

@@ -123,6 +123,24 @@ class SetAssociativeCache:
             return None
         return self._sets[location[0]][location[1]]
 
+    def record_hits(self, address: int, count: int) -> None:
+        """Account ``count`` repeated hits on a resident line at once.
+
+        The batched access engine uses this for a run of back-to-back
+        probes of one line: the stats advance exactly as ``count``
+        scalar lookups would, and recency is touched once — repeated
+        touches of the same line with nothing in between are idempotent
+        under every replacement policy, so the set ordering matches too.
+        """
+        if count <= 0:
+            return
+        location = self._index.get(self._block_number(address))
+        if location is None:
+            raise ConfigError(f"{self.name}: record_hits on a non-resident "
+                              f"line {address:#x}")
+        self.stats.hits += count
+        self.policy.touch(*location)
+
     # -- fills and evictions ---------------------------------------------------
 
     def fill(self, address: int, payload: Any = None, *,

@@ -13,8 +13,10 @@ propagated to the NVM counter region by the owning controller.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+import warnings
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Optional,
+                    Tuple)
 
 from ..config import CacheConfig, CounterCacheConfig
 from .cache import SetAssociativeCache
@@ -30,6 +32,19 @@ class CounterEviction:
     page_id: int
     block: CounterBlock
     dirty: bool
+
+
+@dataclass
+class CounterLookup:
+    """Outcome of one bulk :meth:`CounterCache.lookup_many` probe.
+
+    ``hits`` maps page id -> resident counter block; ``misses`` keeps
+    the missing page ids in first-probe order so the caller can load
+    them from NVM in a deterministic sequence.
+    """
+
+    hits: Dict[int, "CounterBlock"] = field(default_factory=dict)
+    misses: List[int] = field(default_factory=list)
 
 
 class CounterCache:
@@ -81,6 +96,37 @@ class CounterCache:
         return CounterEviction(page_id=evicted.address // self._block_size,
                                block=evicted.payload, dirty=evicted.dirty)
 
+    def lookup_many(self, page_ids: Iterable[int]) -> CounterLookup:
+        """Probe a batch of pages, partitioning into hit and miss sets.
+
+        Every element counts as one probe (stats advance exactly as the
+        equivalent sequence of scalar :meth:`lookup` calls would);
+        repeated ids probe repeatedly, matching scalar behaviour.
+        """
+        result = CounterLookup()
+        for page_id in page_ids:
+            block = self.lookup(page_id)
+            if block is not None:
+                result.hits[page_id] = block
+            elif page_id not in result.misses:
+                result.misses.append(page_id)
+        return result
+
+    def fill_many(self, blocks: Iterable[Tuple[int, CounterBlock]], *,
+                  dirty: bool = False) -> List[CounterEviction]:
+        """Install a batch of counter blocks in order; returns victims."""
+        evictions = []
+        for page_id, block in blocks:
+            evicted = self.fill(page_id, block, dirty=dirty)
+            if evicted is not None:
+                evictions.append(evicted)
+        return evictions
+
+    def record_hits(self, page_id: int, count: int) -> None:
+        """Bulk hit accounting for a run of repeated probes of one
+        resident page (see :meth:`SetAssociativeCache.record_hits`)."""
+        self._cache.record_hits(self._address(page_id), count)
+
     def mark_dirty(self, page_id: int) -> None:
         self._cache.mark_dirty(self._address(page_id))
 
@@ -101,20 +147,36 @@ class CounterCache:
                 dirty.append((address // self._block_size, line.payload))
         return dirty
 
-    def flush(self, sink: Callable[[int, CounterBlock], None]) -> int:
-        """Write every dirty entry through ``sink`` and mark it clean.
+    def flush(self, sink: Optional[Callable[[int, CounterBlock], None]]
+              = None) -> List[CounterEviction]:
+        """Mark every dirty entry clean, returning what was flushed.
 
         Models the battery-backed flush of the write-back counter cache
-        on power loss (section 7.1). Returns the number flushed.
+        on power loss (section 7.1). The result has the same structured
+        shape as :meth:`invalidate`: a :class:`CounterEviction` per
+        flushed block (``dirty=True`` — they were dirty when flushed),
+        in ascending page order. The caller persists them.
+
+        Passing a ``sink`` callable is deprecated; it is still invoked
+        per entry for old callers, with a :class:`DeprecationWarning`.
         """
-        count = 0
+        if sink is not None:
+            warnings.warn(
+                "CounterCache.flush(sink) is deprecated; call flush() and "
+                "persist the returned CounterEviction list instead",
+                DeprecationWarning, stacklevel=2)
+        flushed: List[CounterEviction] = []
         for address in self._cache.resident_addresses():
             line = self._cache.peek(address)
             if line is not None and line.dirty:
-                sink(address // self._block_size, line.payload)
+                page_id = address // self._block_size
+                if sink is not None:
+                    sink(page_id, line.payload)
                 line.dirty = False
-                count += 1
-        return count
+                flushed.append(CounterEviction(page_id=page_id,
+                                               block=line.payload,
+                                               dirty=True))
+        return flushed
 
     def __len__(self) -> int:
         return len(self._cache)

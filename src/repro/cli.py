@@ -20,7 +20,13 @@ Commands
     Prometheus text, or a chrome://tracing span trace.
 ``analyze``
     Run the repo's static invariant checker (``REPRO###`` rules);
-    see ``docs/ANALYSIS.md``.
+    see ``docs/ANALYSIS.md``. ``--import-graph dot`` exports the
+    layered import graph instead.
+``bench``
+    Run named performance scenarios through the scalar and batch
+    access engines, write ``BENCH_<scenario>.json``, and optionally
+    gate against a committed baseline (``--compare``); see
+    ``docs/BENCHMARKS.md``.
 """
 
 from __future__ import annotations
@@ -255,6 +261,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         for code, entry in rule_catalog().items():
             print(f"{code}  [{entry['pass']}]  {entry['summary']}")
         return 0
+    if args.import_graph:
+        from .analysis.passes.layering import render_import_graph
+        analyzer = Analyzer(args.root, select=args.select, ignore=args.ignore)
+        sys.stdout.write(render_import_graph(analyzer.source_files(args.paths
+                                                                   or None),
+                                             fmt=args.import_graph))
+        return 0
     analyzer = Analyzer(args.root, select=args.select, ignore=args.ignore)
     report = analyzer.run(args.paths or None)
     if args.format == "json":
@@ -263,6 +276,64 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     else:
         print(render_text(report))
     return 0 if report.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .errors import ExperimentError
+    from .exec.bench import (SCENARIOS, compare_results, load_result,
+                             run_scenario, scenario_names, write_result)
+    if args.list:
+        for name in scenario_names():
+            print(f"{name:18s} {SCENARIOS[name].description}")
+        return 0
+    names = args.scenarios or scenario_names()
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        print(f"error: unknown scenario(s) {', '.join(unknown)}; choose "
+              f"from {scenario_names()}", file=sys.stderr)
+        return 2
+    if args.compare and len(names) != 1:
+        print("error: --compare gates exactly one scenario per baseline "
+              "file", file=sys.stderr)
+        return 2
+    status = 0
+    for name in names:
+        try:
+            result = run_scenario(name, warmup=args.warmup,
+                                  repeat=args.repeat)
+        except ExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        path = write_result(result, directory=args.output_dir)
+        timing = result["timing"]
+        speedup = timing.get("speedup_batch_over_scalar")
+        summary = " ".join(
+            f"{engine}={entry['best_s']:.4f}s"
+            for engine, entry in timing.items() if isinstance(entry, dict))
+        extra = f" speedup={speedup:.2f}x" if speedup is not None else ""
+        ok = result["deterministic"]["reports_identical"]
+        print(f"{name}: {summary}{extra} "
+              f"reports_identical={ok} -> {path}")
+        if not ok:
+            print(f"error: {name}: scalar and batch reports diverge",
+                  file=sys.stderr)
+            status = 1
+        if args.compare:
+            try:
+                baseline = load_result(args.compare)
+            except ExperimentError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            failures = compare_results(result, baseline,
+                                       threshold=args.threshold)
+            if failures:
+                for failure in failures:
+                    print(f"REGRESSION {name}: {failure}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"{name}: within {args.threshold:.0%} of baseline "
+                      f"{args.compare}")
+    return status
 
 
 def _parse_size(text: str) -> int:
@@ -440,7 +511,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip these comma-separated REPRO### codes")
     analyze.add_argument("--list-rules", action="store_true",
                          help="print the rule catalog and exit")
+    analyze.add_argument("--import-graph", choices=("dot",), default=None,
+                         metavar="FORMAT",
+                         help="export the package import graph (module-"
+                              "level and function-local edges, annotated "
+                              "with layer ranks) instead of checking rules")
     analyze.set_defaults(func=_cmd_analyze)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run performance scenarios through the access engines and "
+             "record BENCH_<scenario>.json trajectories")
+    bench.add_argument("scenarios", nargs="*",
+                       help="scenario names (default: all; see --list)")
+    bench.add_argument("--list", action="store_true",
+                       help="print the scenario catalog and exit")
+    bench.add_argument("--warmup", type=int, default=1, metavar="N",
+                       help="untimed runs per engine before measuring "
+                            "(default: 1)")
+    bench.add_argument("--repeat", type=_positive_int, default=3,
+                       metavar="N",
+                       help="timed runs per engine (default: 3)")
+    bench.add_argument("--output-dir", default=None, metavar="DIR",
+                       help="directory for BENCH_<scenario>.json files "
+                            "(default: current directory)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE.json",
+                       help="gate the run against a recorded baseline: "
+                            "fail on deterministic divergence or timing "
+                            "regression past --threshold")
+    bench.add_argument("--threshold", type=float, default=0.5,
+                       metavar="FRACTION",
+                       help="allowed fractional slowdown vs the baseline's "
+                            "best time before --compare fails "
+                            "(default: 0.5 = 50%%)")
+    bench.set_defaults(func=_cmd_bench)
 
     stats = sub.add_parser(
         "stats", help="render an --emit-metrics JSON-lines dump")

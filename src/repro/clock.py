@@ -1,0 +1,79 @@
+"""Simulated-time plumbing: :class:`SimClock` and the ``now_ns`` shim.
+
+Historically every datapath method on the controllers took the current
+simulated time as a positional ``now_ns: float = 0.0`` argument, and
+each caller threaded it by hand. That convention is deprecated in two
+steps:
+
+* the time parameter is now called ``at`` and may be omitted — each
+  controller carries a :class:`SimClock` whose ``now_ns`` is used when
+  no explicit time is given, so engines advance one shared clock
+  instead of threading floats through every frame;
+* the old keyword spelling ``now_ns=`` still works on the public
+  datapath methods (``fetch_block``/``store_block``/``read_block``/
+  ``write_block``) but raises a :class:`DeprecationWarning` via
+  :func:`resolve_time`.
+
+Positional call sites (``fetch_block(addr, t)``) bind to ``at``
+unchanged, so existing code keeps working silently.
+
+The clock holds *simulated* nanoseconds — it is advanced explicitly by
+engines, never read from the host (analyzer rule REPRO101 forbids wall
+clocks in simulation layers).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class SimClock:
+    """A monotonic simulated-time source shared by one machine.
+
+    ``now_ns`` only moves forward: :meth:`advance` adds a delta and
+    :meth:`advance_to` ratchets to a later absolute time (out-of-order
+    completions never rewind it).
+    """
+
+    now_ns: float = 0.0
+
+    def advance(self, delta_ns: float) -> float:
+        """Move time forward by ``delta_ns``; returns the new time."""
+        if delta_ns < 0:
+            raise ValueError(f"clock cannot move backwards ({delta_ns} ns)")
+        self.now_ns += delta_ns
+        return self.now_ns
+
+    def advance_to(self, at_ns: float) -> float:
+        """Ratchet to ``at_ns`` if it is later than now; returns now."""
+        if at_ns > self.now_ns:
+            self.now_ns = at_ns
+        return self.now_ns
+
+    def reset(self) -> None:
+        self.now_ns = 0.0
+
+
+def resolve_time(clock: Optional[SimClock], at: Optional[float],
+                 now_ns: Optional[float]) -> float:
+    """Pick the effective simulated time for one datapath call.
+
+    Precedence: an explicit deprecated ``now_ns=`` keyword (warns), then
+    an explicit ``at``, then the carried clock, then 0.0 — the last two
+    make the historical default (``now_ns=0.0``) the fallback, so
+    callers that never passed a time see identical behaviour.
+    """
+    if now_ns is not None:
+        warnings.warn(
+            "the now_ns= keyword is deprecated; pass the time positionally "
+            "as 'at' or let the controller's SimClock supply it",
+            DeprecationWarning, stacklevel=3)
+        return now_ns
+    if at is not None:
+        return at
+    if clock is not None:
+        return clock.now_ns
+    return 0.0

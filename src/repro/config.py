@@ -338,7 +338,7 @@ def config_digest(config: SystemConfig) -> str:
     import hashlib
     import json
 
-    from .serialization import config_to_dict
+    from .serialization import config_to_dict  # repro: suppress REPRO203 -- digest wrapper
     payload = json.dumps(config_to_dict(config), sort_keys=True,
                          separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

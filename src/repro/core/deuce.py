@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..clock import resolve_time
 from ..config import SystemConfig
 from ..errors import AddressError, CipherError
 from ..mem import NVMDevice
@@ -133,11 +134,15 @@ class DeuceShredderController(SilentShredderController):
         epoch_plain = xor_bytes(ciphertext, epoch_pad)
         return self._splice(epoch_plain, lead_plain, state.mask)
 
-    def fetch_block(self, address: int, now_ns: float = 0.0) -> AccessResult:
+    def fetch_block(self, address: int, at=None, *,
+                    now_ns=None) -> AccessResult:
+        now = resolve_time(self.clock, at, now_ns)
         self._check_data_address(address)
         page_id = self.page_of(address)
         offset = self.offset_of(address)
-        counters, counter_latency, hit = self.get_counters(page_id, now_ns)
+        fetch = self.get_counters(page_id, now)
+        counters, counter_latency, hit = \
+            fetch.counters, fetch.latency_ns, fetch.hit
 
         if self.zero_semantics and counters.is_shredded(offset):
             self.stats.zero_fill_reads += 1
@@ -147,7 +152,7 @@ class DeuceShredderController(SilentShredderController):
                                 latency_ns=counter_latency, zero_filled=True,
                                 counter_hit=hit)
 
-        access = self.mem.read_block(address, now_ns + counter_latency)
+        access = self.mem.read_block(address, now + counter_latency)
         self.stats.data_reads += 1
         plaintext = None
         if self.functional:
@@ -164,17 +169,20 @@ class DeuceShredderController(SilentShredderController):
         return AccessResult(data=plaintext, latency_ns=latency,
                             counter_hit=hit)
 
-    def store_block(self, address: int, data: Optional[bytes],
-                    now_ns: float = 0.0) -> AccessResult:
+    def store_block(self, address: int, data: Optional[bytes] = None,
+                    at=None, *, now_ns=None) -> AccessResult:
+        now = resolve_time(self.clock, at, now_ns)
         if not self.functional or not self.encrypted:
             # Without real bytes DEUCE degenerates to the parent's path.
-            return super().store_block(address, data, now_ns)
+            return super().store_block(address, data, now)
         self._check_data_address(address)
         if data is None or len(data) != self.block_size:
             raise AddressError("functional store requires a full data block")
         page_id = self.page_of(address)
         offset = self.offset_of(address)
-        counters, counter_latency, hit = self.get_counters(page_id, now_ns)
+        fetch = self.get_counters(page_id, now)
+        counters, counter_latency, hit = \
+            fetch.counters, fetch.latency_ns, fetch.hit
 
         was_shredded = self.zero_semantics and counters.is_shredded(offset)
         old_plaintext = None
@@ -190,7 +198,7 @@ class DeuceShredderController(SilentShredderController):
                 self._line_state.pop(page_id * self.page_size
                                      + line_offset * self.block_size, None)
             latency = self._reencrypt_page(page_id, counters,
-                                           {offset: data}, now_ns)
+                                           {offset: data}, now)
             self.stats.reencryptions += 1
             return AccessResult(data=None,
                                 latency_ns=counter_latency + latency,
@@ -225,9 +233,9 @@ class DeuceShredderController(SilentShredderController):
 
         pad_ns = self._pad_latency_ns + self._xor_latency_ns
         access = self.mem.write_block(address, ciphertext,
-                                      now_ns + counter_latency + pad_ns)
+                                      now + counter_latency + pad_ns)
         self.stats.data_writes += 1
-        counter_update_ns = self._counters_updated(page_id, counters, now_ns)
+        counter_update_ns = self._counters_updated(page_id, counters, now)
         latency = counter_latency + pad_ns + access.latency_ns + counter_update_ns
         return AccessResult(data=None, latency_ns=latency, counter_hit=hit)
 

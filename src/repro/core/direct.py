@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..clock import resolve_time
 from ..config import SystemConfig
 from ..errors import AddressError
 from ..mem import NVMDevice
@@ -59,10 +60,12 @@ class DirectEncryptionController(SecureMemoryController):
                        else cipher.decrypt_block(chunk))
         return bytes(out)
 
-    def fetch_block(self, address: int, now_ns: float = 0.0) -> AccessResult:
+    def fetch_block(self, address: int, at=None, *,
+                    now_ns=None) -> AccessResult:
         """LLC miss: fetch then decrypt — latencies add, never overlap."""
+        now = resolve_time(self.clock, at, now_ns)
         self._check_data_address(address)
-        access = self.mem.read_block(address, now_ns)
+        access = self.mem.read_block(address, now)
         self.stats.data_reads += 1
         plaintext = None
         if self.functional:
@@ -75,8 +78,9 @@ class DirectEncryptionController(SecureMemoryController):
         return AccessResult(data=plaintext, latency_ns=latency,
                             counter_hit=True)
 
-    def store_block(self, address: int, data: Optional[bytes],
-                    now_ns: float = 0.0) -> AccessResult:
+    def store_block(self, address: int, data: Optional[bytes] = None,
+                    at=None, *, now_ns=None) -> AccessResult:
+        now = resolve_time(self.clock, at, now_ns)
         self._check_data_address(address)
         if self.functional and (data is None or len(data) != self.block_size):
             raise AddressError("functional store requires a full data block")
@@ -85,7 +89,7 @@ class DirectEncryptionController(SecureMemoryController):
             ciphertext = self._ecb_transform(data, encrypt=True) \
                 if self.encrypted else data
         access = self.mem.write_block(address, ciphertext,
-                                      now_ns + self._cipher_latency_ns)
+                                      now + self._cipher_latency_ns)
         self.stats.data_writes += 1
         latency = self._cipher_latency_ns + access.latency_ns
         return AccessResult(data=None, latency_ns=latency)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+from ..clock import resolve_time
 from ..config import SystemConfig
 from ..errors import AddressError, CipherError, ConfigError
 from ..mem import NVMDevice
@@ -120,11 +121,13 @@ class INVMMController(SecureMemoryController):
 
     # -- data path ------------------------------------------------------------------
 
-    def fetch_block(self, address: int, now_ns: float = 0.0) -> AccessResult:
+    def fetch_block(self, address: int, at=None, *,
+                    now_ns=None) -> AccessResult:
+        now = resolve_time(self.clock, at, now_ns)
         self._check_data_address(address)
         page_id = self.page_of(address)
-        unseal_ns = self._touch(page_id, now_ns)
-        access = self.mem.read_block(address, now_ns + unseal_ns)
+        unseal_ns = self._touch(page_id, now)
+        access = self.mem.read_block(address, now + unseal_ns)
         self.stats.data_reads += 1
         latency = unseal_ns + access.latency_ns
         self.stats.read_requests += 1
@@ -132,15 +135,16 @@ class INVMMController(SecureMemoryController):
         return AccessResult(data=access.data, latency_ns=latency,
                             counter_hit=True)
 
-    def store_block(self, address: int, data: Optional[bytes],
-                    now_ns: float = 0.0) -> AccessResult:
+    def store_block(self, address: int, data: Optional[bytes] = None,
+                    at=None, *, now_ns=None) -> AccessResult:
+        now = resolve_time(self.clock, at, now_ns)
         self._check_data_address(address)
         if self.functional and (data is None or len(data) != self.block_size):
             raise AddressError("functional store requires a full data block")
         page_id = self.page_of(address)
-        unseal_ns = self._touch(page_id, now_ns)
+        unseal_ns = self._touch(page_id, now)
         # Hot pages hold plaintext: the bus and cells both see it.
-        access = self.mem.write_block(address, data, now_ns + unseal_ns)
+        access = self.mem.write_block(address, data, now + unseal_ns)
         self.stats.data_writes += 1
         return AccessResult(data=None, latency_ns=unseal_ns + access.latency_ns)
 

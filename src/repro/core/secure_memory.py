@@ -22,8 +22,9 @@ pad, write ciphertext.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
 
+from ..clock import SimClock, resolve_time
 from ..config import SystemConfig
 from ..crypto import CounterModeEngine, make_cipher
 from ..errors import AddressError
@@ -80,6 +81,26 @@ class AccessResult:
     reencrypted: bool = False
 
 
+@dataclass
+class CounterFetch:
+    """Outcome of one counter-cache probe (:meth:`get_counters`).
+
+    Replaces the old bare-tuple returns. Iterating yields
+    ``(counters, latency_ns, hit)`` so legacy tuple-unpacking call
+    sites keep working; that protocol is deprecated (docs/API.md) —
+    new code should use the named fields.
+    """
+
+    counters: CounterBlock
+    latency_ns: float
+    hit: bool = True
+
+    def __iter__(self) -> Iterator[object]:
+        yield self.counters
+        yield self.latency_ns
+        yield self.hit
+
+
 class SecureMemoryController:
     """Counter-mode encrypted NVM main memory (the paper's baseline)."""
 
@@ -88,9 +109,11 @@ class SecureMemoryController:
 
     def __init__(self, config: SystemConfig, *,
                  device: Optional[NVMDevice] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 clock: Optional[SimClock] = None) -> None:
         self.config = config
         self.metrics = metrics
+        self.clock = clock if clock is not None else SimClock()
         self.block_size = config.block_size
         self.page_size = config.kernel.page_size
         self.blocks_per_page = config.blocks_per_page
@@ -125,7 +148,8 @@ class SecureMemoryController:
             wear_leveler.move_hook = _move
         self.mem = MemoryController.for_nvm(device, config.nvm,
                                             wear_leveler=wear_leveler,
-                                            metrics=metrics)
+                                            metrics=metrics,
+                                            clock=self.clock)
 
         self.minor_bits = config.encryption.minor_counter_bits
         self.encrypted = config.encryption.enabled
@@ -188,42 +212,49 @@ class SecureMemoryController:
         self.stats.counter_writebacks += 1
         return access.latency_ns + self._merkle_latency_ns
 
-    def _load_counters(self, page_id: int, now_ns: float) -> (CounterBlock, float):
+    def _load_counters(self, page_id: int, now_ns: float) -> CounterFetch:
         """Fetch a counter block from NVM, verifying integrity."""
         access = self.mem.read_block(self._counter_address(page_id), now_ns)
         self.stats.counter_fetches += 1
         latency = access.latency_ns + self._merkle_latency_ns
         if not self.functional:
-            return CounterBlock.fresh(self.blocks_per_page,
-                                      self.minor_bits), latency
+            return CounterFetch(CounterBlock.fresh(self.blocks_per_page,
+                                                   self.minor_bits),
+                                latency, hit=False)
         raw = access.data
         if self.merkle is not None:
             self.merkle.verify(page_id, raw)
         if raw == bytes(self.block_size):
             # Counter region never written for this page: fresh counters.
-            return CounterBlock.fresh(self.blocks_per_page,
-                                      self.minor_bits), latency
-        return CounterBlock.unpack(raw, self.blocks_per_page,
-                                   self.minor_bits), latency
+            return CounterFetch(CounterBlock.fresh(self.blocks_per_page,
+                                                   self.minor_bits),
+                                latency, hit=False)
+        return CounterFetch(CounterBlock.unpack(raw, self.blocks_per_page,
+                                                self.minor_bits),
+                            latency, hit=False)
 
-    def get_counters(self, page_id: int, now_ns: float = 0.0) -> (CounterBlock, float, bool):
-        """Return ``(counters, latency_ns, was_hit)`` for a page.
+    def get_counters(self, page_id: int, at: Optional[float] = None, *,
+                     now_ns: Optional[float] = None) -> CounterFetch:
+        """Probe the counter cache for a page's :class:`CounterFetch`.
 
         Serves from the counter cache when possible; otherwise loads from
         NVM, fills the cache and handles any dirty eviction.
         """
+        now = resolve_time(self.clock, at, now_ns)
         if page_id < 0 or page_id >= self.num_pages:
             raise AddressError(f"page id {page_id} out of range")
         cached = self.counter_cache.lookup(page_id)
         if cached is not None:
             self.stats.counter_hits += 1
-            return cached, self._counter_latency_ns, True
+            return CounterFetch(cached, self._counter_latency_ns, hit=True)
         self.stats.counter_misses += 1
-        counters, load_latency = self._load_counters(page_id, now_ns)
-        evicted = self.counter_cache.fill(page_id, counters)
+        load = self._load_counters(page_id, now)
+        evicted = self.counter_cache.fill(page_id, load.counters)
         if evicted is not None and evicted.dirty:
-            self._persist_counters(evicted.page_id, evicted.block, now_ns)
-        return counters, self._counter_latency_ns + load_latency, False
+            self._persist_counters(evicted.page_id, evicted.block, now)
+        return CounterFetch(load.counters,
+                            self._counter_latency_ns + load.latency_ns,
+                            hit=False)
 
     def _counters_updated(self, page_id: int, counters: CounterBlock,
                           now_ns: float) -> float:
@@ -235,12 +266,16 @@ class SecureMemoryController:
 
     # -- data path -----------------------------------------------------------------
 
-    def fetch_block(self, address: int, now_ns: float = 0.0) -> AccessResult:
+    def fetch_block(self, address: int, at: Optional[float] = None, *,
+                    now_ns: Optional[float] = None) -> AccessResult:
         """Serve an LLC miss: decrypt (or zero-fill) one data block."""
+        now = resolve_time(self.clock, at, now_ns)
         self._check_data_address(address)
         page_id = self.page_of(address)
         offset = self.offset_of(address)
-        counters, counter_latency, hit = self.get_counters(page_id, now_ns)
+        fetch = self.get_counters(page_id, now)
+        counters, counter_latency, hit = \
+            fetch.counters, fetch.latency_ns, fetch.hit
 
         if self.zero_semantics and counters.is_shredded(offset):
             # Figure 7, step 3b: the minor counter is zero, so no NVM
@@ -255,7 +290,7 @@ class SecureMemoryController:
                                 latency_ns=latency, zero_filled=True,
                                 counter_hit=hit)
 
-        access = self.mem.read_block(address, now_ns + counter_latency)
+        access = self.mem.read_block(address, now + counter_latency)
         self.stats.data_reads += 1
         plaintext: Optional[bytes] = None
         if self.functional:
@@ -275,20 +310,24 @@ class SecureMemoryController:
             self._read_latency_hist.observe(latency)
         return AccessResult(data=plaintext, latency_ns=latency, counter_hit=hit)
 
-    def store_block(self, address: int, data: Optional[bytes],
-                    now_ns: float = 0.0) -> AccessResult:
+    def store_block(self, address: int, data: Optional[bytes] = None,
+                    at: Optional[float] = None, *,
+                    now_ns: Optional[float] = None) -> AccessResult:
         """Write back one data block: bump minor, encrypt, write NVM."""
+        now = resolve_time(self.clock, at, now_ns)
         self._check_data_address(address)
         if self.functional and (data is None or len(data) != self.block_size):
             raise AddressError("functional store requires a full data block")
         page_id = self.page_of(address)
         offset = self.offset_of(address)
-        counters, counter_latency, hit = self.get_counters(page_id, now_ns)
+        fetch = self.get_counters(page_id, now)
+        counters, counter_latency, hit = \
+            fetch.counters, fetch.latency_ns, fetch.hit
 
         reencrypted = False
         if counters.bump_minor(offset):
             latency = self._reencrypt_page(page_id, counters,
-                                           {offset: data}, now_ns)
+                                           {offset: data}, now)
             self.stats.reencryptions += 1
             return AccessResult(data=None,
                                 latency_ns=counter_latency + latency,
@@ -303,9 +342,9 @@ class SecureMemoryController:
                 ciphertext = data
         pad_ns = self._pad_latency_ns + self._xor_latency_ns
         access = self.mem.write_block(address, ciphertext,
-                                      now_ns + counter_latency + pad_ns)
+                                      now + counter_latency + pad_ns)
         self.stats.data_writes += 1
-        counter_update_ns = self._counters_updated(page_id, counters, now_ns)
+        counter_update_ns = self._counters_updated(page_id, counters, now)
         latency = counter_latency + pad_ns + access.latency_ns + counter_update_ns
         return AccessResult(data=None, latency_ns=latency, counter_hit=hit,
                             reencrypted=reencrypted)
@@ -373,8 +412,11 @@ class SecureMemoryController:
 
     def flush_counters(self) -> int:
         """Battery-backed flush: persist every dirty counter block."""
-        return self.counter_cache.flush(
-            lambda page_id, block: self._persist_counters(page_id, block, 0.0))
+        flushed = self.counter_cache.flush()
+        for eviction in flushed:
+            self._persist_counters(eviction.page_id, eviction.block,
+                                   self.clock.now_ns)
+        return len(flushed)
 
     def power_cycle(self) -> None:
         """Orderly power-fail then reboot: the battery-backed counter

@@ -47,8 +47,8 @@ class SilentShredderController(SecureMemoryController):
     def __init__(self, config: SystemConfig, *,
                  policy: Optional[ShredPolicy] = None,
                  device: Optional[NVMDevice] = None,
-                 metrics=None) -> None:
-        super().__init__(config, device=device, metrics=metrics)
+                 metrics=None, clock=None) -> None:
+        super().__init__(config, device=device, metrics=metrics, clock=clock)
         self.policy = policy if policy is not None else MajorResetMinorsPolicy()
         # Zero-fill reads only exist under the reserved-zero policy.
         self.zero_semantics = self.policy.reads_return_zero
@@ -63,7 +63,8 @@ class SilentShredderController(SecureMemoryController):
         """
         if page_id < 0 or page_id >= self.num_pages:
             raise AddressError(f"page id {page_id} out of range")
-        counters, counter_latency, _hit = self.get_counters(page_id, now_ns)
+        fetch = self.get_counters(page_id, now_ns)
+        counters, counter_latency = fetch.counters, fetch.latency_ns
         effect = self.policy.apply(counters)
         update_latency = self._counters_updated(page_id, counters, now_ns)
         self.stats.shreds += 1
@@ -78,7 +79,7 @@ class SilentShredderController(SecureMemoryController):
         self._check_data_address(address)
         counters = self.counter_cache.peek(self.page_of(address))
         if counters is None:
-            counters, _, _ = self.get_counters(self.page_of(address))
+            counters = self.get_counters(self.page_of(address)).counters
         return self.zero_semantics and counters.is_shredded(self.offset_of(address))
 
 

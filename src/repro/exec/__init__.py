@@ -33,6 +33,8 @@ Example::
 
 from .backends import (DistributedBackend, ExecutionBackend, ForkPoolBackend,
                        SerialBackend, parse_address, resolve_backend)
+from .bench import (SCENARIOS, BenchScenario, compare_results, load_result,
+                    run_scenario, scenario_names, write_result)
 from .cache import (CacheStats, ResultCache, SweepResult, code_version_salt,
                     default_cache, default_cache_dir)
 from .experiment import (Experiment, experiment_pair, powergraph_experiment,
@@ -43,8 +45,10 @@ from .worker import (LocalWorker, WorkerServer, local_worker_pool,
 from .workloads import execute_experiment, register_workload, workload_kinds
 
 __all__ = [
+    "BenchScenario",
     "CacheStats",
     "DistributedBackend",
+    "SCENARIOS",
     "ExecutionBackend",
     "Experiment",
     "ForkPoolBackend",
@@ -56,18 +60,23 @@ __all__ = [
     "SweepResult",
     "WorkerServer",
     "code_version_salt",
+    "compare_results",
     "default_cache",
     "default_cache_dir",
     "execute_experiment",
     "experiment_pair",
+    "load_result",
     "local_worker_pool",
     "parse_address",
     "powergraph_experiment",
     "register_workload",
     "resolve_backend",
     "run_experiments",
+    "run_scenario",
+    "scenario_names",
     "spawn_local_workers",
     "spec_experiment",
     "worker_addresses",
     "workload_kinds",
+    "write_result",
 ]

@@ -48,7 +48,7 @@ def code_version_salt() -> str:
     """
     global _salt_cache
     if _salt_cache is None:
-        from .. import __version__
+        from .. import __version__  # repro: suppress REPRO203 -- salt needs the package version
         digest = hashlib.sha256(__version__.encode("utf-8"))
         package_root = Path(__file__).resolve().parent.parent
         try:

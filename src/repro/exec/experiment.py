@@ -62,6 +62,10 @@ class Experiment:
     shredder: bool = True
     policy: Optional[str] = None
     seed: int = 0
+    #: Access-stream engine driving the run: ``"scalar"`` (default, the
+    #: per-access API) or ``"batch"`` (the epoch-batched engine). Only
+    #: engine-aware workloads accept ``"batch"``.
+    engine: str = "scalar"
     name: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -70,6 +74,10 @@ class Experiment:
             object.__setattr__(self, "config", bench_config())
         if self.policy is not None:
             make_policy(self.policy)    # validate the name eagerly
+        if self.engine not in ("scalar", "batch"):
+            raise ExperimentError(
+                f"unknown engine {self.engine!r} (expected 'scalar' or "
+                "'batch')")
 
     # -- parameter access ---------------------------------------------------------
 
@@ -88,14 +96,21 @@ class Experiment:
         Identical across processes and interpreter runs (unlike
         ``hash()``); ignores ``name``.
         """
-        payload = json.dumps({
+        document = {
             "workload": self.workload,
             "params": list(self.params),
             "config": config_digest(self.config),
             "shredder": self.shredder,
             "policy": self.policy,
             "seed": self.seed,
-        }, sort_keys=True, separators=(",", ":"))
+        }
+        # Included only when non-default so every pre-engine cache entry
+        # keeps its hash (the scalar engine is the behaviour those
+        # entries were produced under).
+        if self.engine != "scalar":
+            document["engine"] = self.engine
+        payload = json.dumps(document, sort_keys=True,
+                             separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # -- serialization ------------------------------------------------------------
@@ -110,6 +125,7 @@ class Experiment:
             "shredder": self.shredder,
             "policy": self.policy,
             "seed": self.seed,
+            "engine": self.engine,
             "name": self.name,
         }
 
@@ -123,6 +139,7 @@ class Experiment:
                        shredder=bool(data.get("shredder", True)),
                        policy=data.get("policy"),
                        seed=int(data.get("seed", 0)),
+                       engine=data.get("engine", "scalar"),
                        name=data.get("name", ""))
         except KeyError as error:
             raise ExperimentError(f"malformed experiment document: missing {error}")

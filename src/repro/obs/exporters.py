@@ -191,7 +191,7 @@ def metrics_rows(snapshot: Dict[str, Dict[str, Any]], *,
 
 def render_metrics_table(snapshot: Dict[str, Dict[str, Any]], *,
                          prefix: str = "", title: str = "") -> str:
-    from ..analysis.report import render_table
+    from ..analysis.report import render_table  # repro: suppress REPRO203 -- ad-hoc console dump
     return render_table(metrics_rows(snapshot, prefix=prefix),
                         columns=["metric", "kind", "value", "unit"],
                         title=title)
@@ -199,7 +199,7 @@ def render_metrics_table(snapshot: Dict[str, Dict[str, Any]], *,
 
 def render_spans_table(spans: List[Dict[str, Any]], *,
                        title: str = "") -> str:
-    from ..analysis.report import render_table
+    from ..analysis.report import render_table  # repro: suppress REPRO203 -- ad-hoc console dump
     rows = [{
         "span": "  " * record.get("depth", 0) + record.get("name", "?"),
         "duration_ms": record.get("duration_ns", 0) / 1e6,

@@ -204,6 +204,28 @@ class Histogram(Instrument):
             self._count += 1
             self._sum += value
 
+    def observe_many(self, value: Number, count: int) -> None:
+        """Record ``count`` observations of the same ``value`` at once.
+
+        ``sum`` advances by ``value * count`` — exact for the integral
+        and dyadic-rational latencies the simulator produces, so a bulk
+        observation is indistinguishable from ``count`` scalar ones.
+        """
+        if count < 0:
+            raise ObservabilityError(
+                f"histogram {self.name}: negative observation count {count}")
+        if count == 0:
+            return
+        with self._lock:
+            index = len(self.bounds)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    index = i
+                    break
+            self._counts[index] += count
+            self._count += count
+            self._sum += value * count
+
     def describe(self) -> Dict[str, Any]:
         cumulative = []
         running = 0

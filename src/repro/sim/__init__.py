@@ -4,12 +4,31 @@
   shred register) glued together at the physical-address level.
 * :class:`~repro.sim.system.System` — machine + kernel + cores +
   processes; the object workloads run against.
+* :mod:`repro.sim.batch` — the epoch-batched access-stream engine
+  (:class:`AccessBatch`, :class:`ScalarEngine`, :class:`BatchEngine`).
 * :mod:`repro.sim.results` — serialisable run summaries used by the
   benchmark harness and the analysis layer.
 """
 
+from .batch import (AccessBatch, AccessEngine, BatchEngine, EngineResult,
+                    OP_READ, OP_SHRED, OP_WRITE, ScalarEngine, make_engine)
 from .machine import Machine
 from .system import System, SystemReport
 from .results import RunResult, compare_runs
 
-__all__ = ["Machine", "RunResult", "System", "SystemReport", "compare_runs"]
+__all__ = [
+    "AccessBatch",
+    "AccessEngine",
+    "BatchEngine",
+    "EngineResult",
+    "Machine",
+    "OP_READ",
+    "OP_SHRED",
+    "OP_WRITE",
+    "RunResult",
+    "ScalarEngine",
+    "System",
+    "SystemReport",
+    "compare_runs",
+    "make_engine",
+]

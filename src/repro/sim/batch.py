@@ -1,0 +1,523 @@
+"""Epoch-batched access-stream engine: the vectorised sim hot path.
+
+The scalar API drives the controller one access at a time —
+``fetch_block``/``store_block`` per LLC miss or write-back — each call
+paying a counter-cache probe, per-access stats bookkeeping and Python
+call overhead. Real miss streams are bursty and page-local, so the
+batch engine re-expresses the hot path over an :class:`AccessBatch`
+(structured parallel arrays of address / op / epoch), processed one
+epoch at a time in passes:
+
+1. **page-id derivation** for the whole epoch in one sweep,
+2. **run segmentation**: consecutive accesses to the same page form a
+   segment; only the segment's first access pays a real counter-cache
+   probe — the rest are guaranteed hits (the line cannot be evicted
+   between same-page probes) and are accounted in bulk through
+   :meth:`~repro.cache.counter_cache.CounterCache.record_hits`,
+3. **grouped pad generation** for the segment's reads through the
+   pluggable cipher seam
+   (:meth:`~repro.crypto.CounterModeEngine.decrypt_many`),
+4. **bulk stat publication**: uniform zero-fill runs land in the
+   ``mem.ctrl.read_latency_ns`` histogram via one ``observe_many``
+   instead of per-access updates.
+
+Equivalence is the contract: for any batch, :class:`BatchEngine`
+produces identical controller / device / channel statistics (and,
+functionally, identical data) to :class:`ScalarEngine` replaying the
+same accesses. NVM commands are still issued per access in original
+order because the channel model is order-dependent. All per-access
+model latencies are dyadic rationals (integer cycle counts times a
+dyadic ``cycle_ns``), so bulk accounting (``k * latency``) is float-
+exact against ``k`` scalar additions. Controllers that override the
+datapath (DEUCE, direct encryption, i-NVMM) fall back to the scalar
+loop transparently.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..core.secure_memory import SecureMemoryController
+from ..errors import AddressError, SimulationError
+
+#: Access opcodes carried in :attr:`AccessBatch.ops`.
+OP_READ = 0
+OP_WRITE = 1
+OP_SHRED = 2
+
+_VALID_OPS = (OP_READ, OP_WRITE, OP_SHRED)
+OP_NAMES = {OP_READ: "read", OP_WRITE: "write", OP_SHRED: "shred"}
+
+#: Simulated nanoseconds between epoch starts (dyadic: exact in floats).
+DEFAULT_EPOCH_NS = 1024.0
+
+#: Engine kinds accepted by :func:`make_engine` and ``System(engine=...)``.
+ENGINE_KINDS = ("scalar", "batch")
+
+
+def pattern_block(address: int, block_size: int) -> bytes:
+    """Deterministic per-address payload for functional batched stores."""
+    word = (address & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+    repeats, tail = divmod(block_size, 8)
+    return word * repeats + word[:tail]
+
+
+@dataclass
+class AccessBatch:
+    """A stream of memory accesses as structured parallel arrays.
+
+    ``addresses[i]`` is the block-aligned physical address (for
+    :data:`OP_SHRED`, any address inside the target page), ``ops[i]``
+    one of :data:`OP_READ`/:data:`OP_WRITE`/:data:`OP_SHRED`, and
+    ``epochs[i]`` a non-decreasing epoch id — all accesses of an epoch
+    issue at the same simulated time, one ``epoch_ns`` apart.
+
+    ``data`` optionally carries explicit write payloads (parallel to
+    the arrays, ``None`` for non-writes); with ``patterned=True``
+    functional stores instead derive a deterministic payload from the
+    address via :func:`pattern_block`.
+    """
+
+    addresses: array
+    ops: array
+    epochs: array
+    data: Optional[List[Optional[bytes]]] = None
+    patterned: bool = True
+
+    def __post_init__(self) -> None:
+        self.addresses = array("q", self.addresses)
+        self.ops = array("b", self.ops)
+        self.epochs = array("q", self.epochs)
+        n = len(self.addresses)
+        if len(self.ops) != n or len(self.epochs) != n:
+            raise SimulationError(
+                f"AccessBatch arrays disagree on length: {n} addresses, "
+                f"{len(self.ops)} ops, {len(self.epochs)} epochs")
+        if self.data is not None and len(self.data) != n:
+            raise SimulationError(
+                f"AccessBatch data payloads ({len(self.data)}) do not "
+                f"match {n} accesses")
+        previous = None
+        for i in range(n):
+            if self.ops[i] not in _VALID_OPS:
+                raise SimulationError(f"AccessBatch op {self.ops[i]} at "
+                                      f"index {i} is not a valid opcode")
+            if self.addresses[i] < 0:
+                raise SimulationError(f"AccessBatch address at index {i} "
+                                      "is negative")
+            epoch = self.epochs[i]
+            if previous is not None and epoch < previous:
+                raise SimulationError("AccessBatch epochs must be "
+                                      f"non-decreasing (index {i})")
+            previous = epoch
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def num_epochs(self) -> int:
+        return (self.epochs[-1] + 1) if len(self.epochs) else 0
+
+    def payload(self, index: int, block_size: int) -> Optional[bytes]:
+        """The functional write payload for access ``index``."""
+        if self.data is not None and self.data[index] is not None:
+            return self.data[index]
+        if self.patterned:
+            return pattern_block(self.addresses[index], block_size)
+        return None
+
+    def epoch_slices(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(epoch, start, stop)`` for each occupied epoch."""
+        n = len(self.addresses)
+        start = 0
+        while start < n:
+            epoch = self.epochs[start]
+            stop = start + 1
+            while stop < n and self.epochs[stop] == epoch:
+                stop += 1
+            yield epoch, start, stop
+            start = stop
+
+    # -- builders ---------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: Iterable[Tuple[int, int]], *,
+                   epoch_length: int = 256,
+                   patterned: bool = True) -> "AccessBatch":
+        """Build a batch from ``(address, op)`` pairs, assigning epochs
+        every ``epoch_length`` accesses."""
+        if epoch_length <= 0:
+            raise SimulationError("epoch_length must be positive")
+        addresses = array("q")
+        ops = array("b")
+        epochs = array("q")
+        for i, (address, op) in enumerate(trace):
+            addresses.append(address)
+            ops.append(op)
+            epochs.append(i // epoch_length)
+        return cls(addresses, ops, epochs, patterned=patterned)
+
+    @classmethod
+    def synthetic(cls, num_accesses: int, *, num_pages: int,
+                  page_size: int = 4096, block_size: int = 64,
+                  read_fraction: float = 0.7, shred_fraction: float = 0.0,
+                  locality: float = 0.85, epoch_length: int = 256,
+                  seed: int = 1234, patterned: bool = True) -> "AccessBatch":
+        """Deterministic synthetic stream with tunable page locality.
+
+        ``locality`` is the probability the next access stays on the
+        current page (high locality produces the page-local runs the
+        batch engine exploits; low locality with ``num_pages`` above
+        the counter-cache capacity produces a counter-cold stream).
+        ``shred_fraction`` injects page shreds (requires a shredder
+        controller to execute).
+        """
+        if num_pages <= 0:
+            raise SimulationError("synthetic batch needs at least one page")
+        rng = random.Random(seed)
+        blocks_per_page = page_size // block_size
+        trace: List[Tuple[int, int]] = []
+        page = 0
+        for _ in range(num_accesses):
+            if rng.random() >= locality:
+                page = rng.randrange(num_pages)
+            if shred_fraction > 0.0 and rng.random() < shred_fraction:
+                trace.append((page * page_size, OP_SHRED))
+                continue
+            address = page * page_size + rng.randrange(blocks_per_page) * block_size
+            op = OP_READ if rng.random() < read_fraction else OP_WRITE
+            trace.append((address, op))
+        return cls.from_trace(trace, epoch_length=epoch_length,
+                              patterned=patterned)
+
+
+@dataclass
+class EngineResult:
+    """Aggregate outcome of one engine run over a batch."""
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    shreds: int = 0
+    zero_fill_reads: int = 0
+    reencryptions: int = 0
+    total_latency_ns: float = 0.0
+    epochs: int = 0
+    #: Page-run segments processed (batch engine only; 0 for scalar).
+    segments: int = 0
+    #: Counter-cache probes elided via bulk hit accounting (batch only).
+    bulk_hits: int = 0
+    #: True when the batch engine fell back to the scalar loop because
+    #: the controller overrides the baseline datapath.
+    fallback: bool = False
+    #: Read outputs in stream order (``collect_data=True`` only).
+    data: Optional[List[Optional[bytes]]] = None
+
+    def as_dict(self) -> dict:
+        out = {k: v for k, v in self.__dict__.items() if k != "data"}
+        return out
+
+
+class AccessEngine:
+    """Common machinery for the scalar and batch engines."""
+
+    kind = "scalar"
+
+    def __init__(self, controller: SecureMemoryController, *,
+                 metrics=None) -> None:
+        self.controller = controller
+        self.metrics = metrics
+
+    def run(self, batch: AccessBatch, *, epoch_ns: float = DEFAULT_EPOCH_NS,
+            collect_data: bool = False) -> EngineResult:
+        raise NotImplementedError
+
+    def _shred(self, address: int, now: float):
+        ctl = self.controller
+        shred = getattr(ctl, "shred_page", None)
+        if shred is None:
+            raise SimulationError(
+                f"{type(ctl).__name__} has no shred datapath; remove "
+                "OP_SHRED accesses or use a shredder controller")
+        return shred(address // ctl.page_size, now)
+
+    def _publish(self, result: EngineResult) -> None:
+        """Bulk-publish the run's totals into the metrics registry.
+
+        Both engines publish the same instruments with the same values
+        for equivalent batches, so metrics snapshots stay engine-
+        agnostic (the equivalence contract covers them too).
+        """
+        if self.metrics is None:
+            return
+        for name, value in (("sim.engine.accesses", result.accesses),
+                            ("sim.engine.reads", result.reads),
+                            ("sim.engine.writes", result.writes),
+                            ("sim.engine.shreds", result.shreds)):
+            if value:
+                self.metrics.counter(name, unit="ops").inc(value)
+
+    def _finish(self, batch: AccessBatch, result: EngineResult,
+                base: float, epoch_ns: float) -> EngineResult:
+        result.accesses = len(batch)
+        result.epochs = batch.num_epochs
+        self.controller.clock.advance_to(base + batch.num_epochs * epoch_ns)
+        self._publish(result)
+        return result
+
+
+class ScalarEngine(AccessEngine):
+    """Reference engine: the per-access API replayed one call at a time."""
+
+    kind = "scalar"
+
+    def run(self, batch: AccessBatch, *, epoch_ns: float = DEFAULT_EPOCH_NS,
+            collect_data: bool = False) -> EngineResult:
+        ctl = self.controller
+        base = ctl.clock.now_ns
+        functional = ctl.functional
+        block_size = ctl.block_size
+        result = EngineResult()
+        outputs: Optional[List[Optional[bytes]]] = [] if collect_data else None
+        addresses, ops, epochs = batch.addresses, batch.ops, batch.epochs
+        for i in range(len(batch)):
+            now = base + epochs[i] * epoch_ns
+            op = ops[i]
+            if op == OP_READ:
+                access = ctl.fetch_block(addresses[i], now)
+                result.reads += 1
+                if access.zero_filled:
+                    result.zero_fill_reads += 1
+                result.total_latency_ns += access.latency_ns
+                if outputs is not None:
+                    outputs.append(access.data)
+            elif op == OP_WRITE:
+                data = batch.payload(i, block_size) if functional else None
+                access = ctl.store_block(addresses[i], data, now)
+                result.writes += 1
+                if access.reencrypted:
+                    result.reencryptions += 1
+                result.total_latency_ns += access.latency_ns
+            else:
+                outcome = self._shred(addresses[i], now)
+                result.shreds += 1
+                result.total_latency_ns += outcome.latency_ns
+        result.data = outputs
+        return self._finish(batch, result, base, epoch_ns)
+
+
+class BatchEngine(AccessEngine):
+    """Vectorised engine: probe-eliding, pad-grouping epoch processing."""
+
+    kind = "batch"
+
+    def run(self, batch: AccessBatch, *, epoch_ns: float = DEFAULT_EPOCH_NS,
+            collect_data: bool = False) -> EngineResult:
+        ctl = self.controller
+        if (type(ctl).fetch_block is not SecureMemoryController.fetch_block
+                or type(ctl).store_block
+                is not SecureMemoryController.store_block):
+            # Overridden datapath (DEUCE / direct / i-NVMM): the inline
+            # fast path below would bypass the subclass semantics, so
+            # replay access-equivalently through the scalar loop.
+            result = ScalarEngine(ctl, metrics=self.metrics).run(
+                batch, epoch_ns=epoch_ns, collect_data=collect_data)
+            result.fallback = True
+            return result
+
+        base = ctl.clock.now_ns
+        result = EngineResult()
+        outputs: Optional[List[Optional[bytes]]] = [] if collect_data else None
+        for epoch, start, stop in batch.epoch_slices():
+            now = base + epoch * epoch_ns
+            self._run_epoch(batch, start, stop, now, result, outputs)
+        result.data = outputs
+        return self._finish(batch, result, base, epoch_ns)
+
+    # -- epoch passes -----------------------------------------------------
+
+    def _run_epoch(self, batch: AccessBatch, start: int, stop: int,
+                   now: float, result: EngineResult,
+                   outputs: Optional[List[Optional[bytes]]]) -> None:
+        ctl = self.controller
+        addresses, ops = batch.addresses, batch.ops
+        page_size = ctl.page_size
+        # Pass 1: page ids for the whole epoch.
+        pages = [addresses[i] // page_size for i in range(start, stop)]
+        # Pass 2: segment into same-page runs; shreds stand alone.
+        i = start
+        while i < stop:
+            if ops[i] == OP_SHRED:
+                outcome = self._shred(addresses[i], now)
+                result.shreds += 1
+                result.total_latency_ns += outcome.latency_ns
+                i += 1
+                continue
+            page_id = pages[i - start]
+            j = i + 1
+            while (j < stop and pages[j - start] == page_id
+                   and ops[j] != OP_SHRED):
+                j += 1
+            self._run_segment(batch, i, j, page_id, now, result, outputs)
+            result.segments += 1
+            i = j
+
+    def _run_segment(self, batch: AccessBatch, start: int, stop: int,
+                     page_id: int, now: float, result: EngineResult,
+                     outputs: Optional[List[Optional[bytes]]]) -> None:
+        """One same-page run: real probe first, inline fast path after."""
+        ctl = self.controller
+        block_size = ctl.block_size
+        functional = ctl.functional
+
+        # First access takes the full scalar path (real counter-cache
+        # probe, miss handling, dirty-eviction persistence, ...).
+        first_op = batch.ops[start]
+        address = batch.addresses[start]
+        if first_op == OP_READ:
+            access = ctl.fetch_block(address, now)
+            result.reads += 1
+            if access.zero_filled:
+                result.zero_fill_reads += 1
+            result.total_latency_ns += access.latency_ns
+            if outputs is not None:
+                outputs.append(access.data)
+        else:
+            data = batch.payload(start, block_size) if functional else None
+            access = ctl.store_block(address, data, now)
+            result.writes += 1
+            if access.reencrypted:
+                result.reencryptions += 1
+            result.total_latency_ns += access.latency_ns
+        if stop - start == 1:
+            return
+
+        # The page's counter line is now resident and cannot be evicted
+        # by anything this segment does (every probe targets the same
+        # line), so the remaining accesses are guaranteed hits: elide
+        # their probes and account them in bulk at the end.
+        counters = ctl.counter_cache.peek(page_id)
+        if counters is None:
+            raise SimulationError(
+                f"page {page_id} counters not resident after segment head")
+        stats = ctl.stats
+        hist = ctl._read_latency_hist
+        hit_latency = ctl._counter_latency_ns
+        pad_ns = ctl._pad_latency_ns
+        xor_ns = ctl._xor_latency_ns
+        encrypted = ctl.encrypted
+        zero_semantics = ctl.zero_semantics
+
+        zero_run = 0                 # consecutive zero-fill reads pending
+        pending_blocks: List[bytes] = []   # ciphertexts awaiting decrypt
+        pending_ivs: List[bytes] = []
+        pending_slots: List[Optional[int]] = []
+
+        def flush_zero_run() -> None:
+            nonlocal zero_run
+            if not zero_run:
+                return
+            stats.zero_fill_reads += zero_run
+            stats.read_requests += zero_run
+            stats.total_read_latency_ns += zero_run * hit_latency
+            if hist is not None:
+                hist.observe_many(hit_latency, zero_run)
+            result.reads += zero_run
+            result.zero_fill_reads += zero_run
+            result.total_latency_ns += zero_run * hit_latency
+            if outputs is not None:
+                fill = ctl._zero_block if functional else None
+                outputs.extend([fill] * zero_run)
+            zero_run = 0
+
+        for index in range(start + 1, stop):
+            address = batch.addresses[index]
+            ctl._check_data_address(address)
+            offset = ctl.offset_of(address)
+            if batch.ops[index] == OP_READ:
+                if zero_semantics and counters.is_shredded(offset):
+                    zero_run += 1
+                    continue
+                flush_zero_run()
+                access = ctl.mem.read_block(address, now + hit_latency)
+                stats.data_reads += 1
+                latency = (hit_latency
+                           + max(access.latency_ns, pad_ns) + xor_ns)
+                stats.read_requests += 1
+                stats.total_read_latency_ns += latency
+                if hist is not None:
+                    hist.observe(latency)
+                result.reads += 1
+                result.total_latency_ns += latency
+                if functional:
+                    if encrypted:
+                        # IVs snapshot the counters *now*; pad generation
+                        # is deferred and grouped at segment end.
+                        pending_blocks.append(access.data)
+                        pending_ivs.append(ctl._iv(page_id, offset, counters))
+                        if outputs is not None:
+                            pending_slots.append(len(outputs))
+                            outputs.append(None)
+                        else:
+                            pending_slots.append(None)
+                    elif outputs is not None:
+                        outputs.append(access.data)
+                elif outputs is not None:
+                    outputs.append(None)
+            else:
+                flush_zero_run()
+                data = batch.payload(index, block_size) if functional else None
+                if functional and (data is None or len(data) != block_size):
+                    raise AddressError(
+                        "functional store requires a full data block")
+                if counters.bump_minor(offset):
+                    latency = ctl._reencrypt_page(page_id, counters,
+                                                  {offset: data}, now)
+                    stats.reencryptions += 1
+                    result.reencryptions += 1
+                    result.writes += 1
+                    result.total_latency_ns += hit_latency + latency
+                    continue
+                ciphertext = None
+                if functional:
+                    if encrypted:
+                        iv = ctl._iv(page_id, offset, counters)
+                        ciphertext = ctl.engine.encrypt(data, iv)
+                    else:
+                        ciphertext = data
+                write_offset_ns = pad_ns + xor_ns
+                access = ctl.mem.write_block(address, ciphertext,
+                                             now + hit_latency
+                                             + write_offset_ns)
+                stats.data_writes += 1
+                update_ns = ctl._counters_updated(page_id, counters, now)
+                latency = (hit_latency + write_offset_ns
+                           + access.latency_ns + update_ns)
+                result.writes += 1
+                result.total_latency_ns += latency
+
+        flush_zero_run()
+        if pending_blocks:
+            plaintexts = ctl.engine.decrypt_many(pending_blocks, pending_ivs)
+            if outputs is not None:
+                for slot, plaintext in zip(pending_slots, plaintexts):
+                    if slot is not None:
+                        outputs[slot] = plaintext
+        inline = stop - start - 1
+        stats.counter_hits += inline
+        ctl.counter_cache.record_hits(page_id, inline)
+        result.bulk_hits += inline
+
+
+def make_engine(kind: str, controller: SecureMemoryController, *,
+                metrics=None) -> AccessEngine:
+    """Build an access-stream engine of the given kind over a controller."""
+    if kind == "scalar":
+        return ScalarEngine(controller, metrics=metrics)
+    if kind == "batch":
+        return BatchEngine(controller, metrics=metrics)
+    raise SimulationError(f"unknown access engine {kind!r} "
+                          f"(expected one of {ENGINE_KINDS})")

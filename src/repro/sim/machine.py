@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from ..clock import SimClock
 from ..config import SystemConfig
 from ..core import (SecureMemoryController, ShredRegister,
                     SilentShredderController)
@@ -22,16 +23,18 @@ class Machine:
 
     def __init__(self, config: SystemConfig, *, shredder: bool = True,
                  policy: Optional[ShredPolicy] = None,
-                 metrics=None) -> None:
+                 metrics=None, clock: Optional[SimClock] = None) -> None:
         self.config = config
         self.functional = config.functional
         self.block_size = config.block_size
         self.metrics = metrics
+        self.clock = clock if clock is not None else SimClock()
         if shredder:
             self.controller: SecureMemoryController = SilentShredderController(
-                config, policy=policy, metrics=metrics)
+                config, policy=policy, metrics=metrics, clock=self.clock)
         else:
-            self.controller = SecureMemoryController(config, metrics=metrics)
+            self.controller = SecureMemoryController(config, metrics=metrics,
+                                                     clock=self.clock)
         self.hierarchy = CacheHierarchy(config, self._on_miss, self._on_writeback)
         self.shred_register: Optional[ShredRegister] = None
         if shredder:

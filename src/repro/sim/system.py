@@ -96,9 +96,14 @@ class System:
     def __init__(self, config: Optional[SystemConfig] = None, *,
                  shredder: bool = True, policy: Optional[ShredPolicy] = None,
                  name: str = "system",
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 engine: str = "scalar") -> None:
         self.config = config if config is not None else default_config()
         self.name = name
+        if engine not in ("scalar", "batch"):
+            raise SimulationError(f"unknown access engine {engine!r} "
+                                  "(expected 'scalar' or 'batch')")
+        self.engine = engine
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.machine = Machine(self.config, shredder=shredder, policy=policy,
                                metrics=self.metrics)
@@ -112,6 +117,17 @@ class System:
     @property
     def shredder_enabled(self) -> bool:
         return self.machine.has_shredder
+
+    @property
+    def clock(self):
+        return self.machine.clock
+
+    def access_engine(self, kind: Optional[str] = None):
+        """Build the configured access-stream engine over this system's
+        controller (see :mod:`repro.sim.batch`)."""
+        from .batch import make_engine
+        return make_engine(kind if kind is not None else self.engine,
+                           self.machine.controller, metrics=self.metrics)
 
     # -- task plumbing -----------------------------------------------------------
 
@@ -311,7 +327,7 @@ class System:
 
     def dump_stats(self) -> str:
         """A gem5-style multi-section statistics dump."""
-        from ..analysis.report import render_table
+        from ..analysis.report import render_table  # repro: suppress REPRO203 -- debug printf
         report = self.report()
         sections = [f"---------- {self.name} ----------"]
         sections.append(render_table(

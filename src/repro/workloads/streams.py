@@ -1,0 +1,61 @@
+"""Access-stream builders: batches from the existing workload generators.
+
+The batch engine (:mod:`repro.sim.batch`) consumes flat
+:class:`~repro.sim.batch.AccessBatch` arrays; this module derives them
+from the same generators that drive the full-system tasks, so the
+scalar-vs-batch equivalence tests and the benchmark scenarios replay
+workload shapes the figures already exercise.
+
+Lives in the workloads layer (not :mod:`repro.sim`) because building a
+stream from :func:`~repro.workloads.spec.spec_task` is an import *from*
+the workloads package — putting it here keeps the dependency pointing
+downward (workloads -> sim), per layering rule REPRO201.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..sim.batch import OP_READ, OP_WRITE, AccessBatch
+from .spec import SpecParams, spec_task
+
+
+class _RecordingContext:
+    """Duck-typed :class:`~repro.runtime.ExecutionContext` that records
+    the generator's block accesses instead of simulating them."""
+
+    def __init__(self, page_size: int, block_size: int) -> None:
+        self.page_size = page_size
+        self.block_size = block_size
+        self.core_id = 0
+        self._brk = 0
+        self.trace: List[Tuple[int, int]] = []
+
+    def malloc(self, nbytes: int) -> int:
+        base = self._brk
+        pages = -(-nbytes // self.page_size)
+        self._brk += pages * self.page_size
+        return base
+
+    def touch(self, address: int, write: bool = False) -> None:
+        block = address - address % self.block_size
+        self.trace.append((block, OP_WRITE if write else OP_READ))
+
+    def compute(self, instructions: int) -> None:
+        pass
+
+
+def spec_access_batch(params: SpecParams, *, page_size: int = 4096,
+                      block_size: int = 64,
+                      epoch_length: int = 256) -> AccessBatch:
+    """Flatten one SPEC model's init-phase accesses into a batch.
+
+    Runs the real :func:`spec_task` generator against a recording
+    context, so the stream is exactly the block-access sequence the
+    full-system task would issue (minus cache filtering, which the
+    engines model at the controller boundary).
+    """
+    ctx = _RecordingContext(page_size, block_size)
+    for _ in spec_task(params)(ctx):
+        pass
+    return AccessBatch.from_trace(ctx.trace, epoch_length=epoch_length)

@@ -1,0 +1,28 @@
+"""Known-bad file for REPRO203: function-local upward imports.
+
+Module-level layering is clean (nothing imported up top), but the
+function bodies launder upward dependencies — ``repro.sim`` reaching
+into ``repro.exec`` and ``repro.cli`` only when called.
+"""
+
+
+def run_sweep():
+    from repro.exec import run_experiments
+    return run_experiments([])
+
+
+def render_help():
+    import repro.cli
+    return repro.cli.__doc__
+
+
+def typed_only():
+    from typing import TYPE_CHECKING
+    if TYPE_CHECKING:
+        from repro.exec import Runner  # never executes: exempt
+    return None
+
+
+def downward_is_fine():
+    from repro.mem import commands  # lower layer: exempt
+    return commands

@@ -1,0 +1,6 @@
+"""Suppressed twin of local_import_bad.py: findings carry justifications."""
+
+
+def run_sweep():
+    from repro.exec import run_experiments  # repro: suppress REPRO203 -- fixture: upward local import on purpose
+    return run_experiments([])

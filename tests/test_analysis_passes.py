@@ -25,7 +25,7 @@ def fired(report):
 
 FORMAT = "REPRO001,REPRO002,REPRO003,REPRO004,REPRO005"
 DETERMINISM = "REPRO101,REPRO102,REPRO103,REPRO104"
-LAYERING = "REPRO201,REPRO202"
+LAYERING = "REPRO201,REPRO202,REPRO203"
 SHRED = "REPRO301,REPRO302,REPRO303"
 METRICS = "REPRO401"
 CONCURRENCY = "REPRO501"
@@ -61,6 +61,40 @@ class TestLayeringFamily:
     def test_suppressed_twin_is_clean(self):
         report = run_fixture("repro/mem/layer_ok.py", LAYERING)
         assert report.ok and report.suppressed >= 2
+
+    def test_local_import_bad_fixture_fires(self):
+        report = run_fixture("repro/sim/local_import_bad.py", LAYERING)
+        assert fired(report) == ["REPRO203"]
+        # exec and cli laundered; TYPE_CHECKING and downward are exempt.
+        assert len(report.violations) == 2
+
+    def test_local_import_suppressed_twin_is_clean(self):
+        report = run_fixture("repro/sim/local_import_ok.py", LAYERING)
+        assert report.ok and report.suppressed == 1
+
+    def test_import_graph_cli(self, capsys):
+        from repro.cli import main
+        assert main(["analyze", "--import-graph", "dot",
+                     str(REPO_ROOT / "src" / "repro" / "sim")]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph repro_imports {")
+        assert '"repro.sim" -> "repro.core"' in out
+
+    def test_import_graph_renders_dot(self):
+        from repro.analysis.passes.layering import render_import_graph
+        analyzer = Analyzer(REPO_ROOT)
+        dot = render_import_graph(
+            analyzer.source_files([REPO_ROOT / "src" / "repro"]))
+        assert dot.startswith("digraph repro_imports {")
+        assert dot.rstrip().endswith("}")
+        assert '"repro.core" -> "repro.cache"' in dot
+        # The suppressed sim->analysis local edge shows up dashed+red.
+        assert ('"repro.sim" -> "repro.analysis" '
+                "[style=dashed, color=red, penwidth=2];") in dot
+        # No *module-level* upward (solid red) edges exist in the tree.
+        for line in dot.splitlines():
+            if "color=red" in line:
+                assert "style=dashed" in line
 
 
 class TestShredFamily:

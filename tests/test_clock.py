@@ -1,0 +1,105 @@
+"""SimClock, the ``at=``/``now_ns=`` shim, and CounterFetch results."""
+
+import pytest
+
+from repro.clock import SimClock, resolve_time
+from repro.core.secure_memory import CounterFetch, SecureMemoryController
+from repro.sim import Machine
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock.now_ns == 0.0
+        assert clock.advance(125.0) == 125.0
+        assert clock.now_ns == 125.0
+
+    def test_cannot_move_backwards(self):
+        clock = SimClock(now_ns=10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance(-1.0)
+
+    def test_advance_to_only_ratchets_forward(self):
+        clock = SimClock(now_ns=100.0)
+        assert clock.advance_to(50.0) == 100.0     # no rewind
+        assert clock.advance_to(200.0) == 200.0
+
+    def test_reset(self):
+        clock = SimClock(now_ns=42.0)
+        clock.reset()
+        assert clock.now_ns == 0.0
+
+
+class TestResolveTime:
+    def test_precedence_clock_then_at(self):
+        clock = SimClock(now_ns=7.0)
+        assert resolve_time(clock, None, None) == 7.0
+        assert resolve_time(clock, 3.0, None) == 3.0
+        assert resolve_time(None, None, None) == 0.0
+
+    def test_now_ns_keyword_warns_but_wins(self):
+        with pytest.warns(DeprecationWarning, match="now_ns"):
+            assert resolve_time(SimClock(now_ns=7.0), 3.0, 9.0) == 9.0
+
+
+def issue_times(controller):
+    """Spy on the NVM datapath: times at which reads reach the device."""
+    times = []
+    original = controller.mem.read_block
+
+    def spy(address, at=0.0, *args, **kwargs):
+        times.append(at)
+        return original(address, at, *args, **kwargs)
+
+    controller.mem.read_block = spy
+    return times
+
+
+class TestControllerTimeSources:
+    def test_datapath_uses_carried_clock(self, tiny_config):
+        controller = SecureMemoryController(tiny_config,
+                                            clock=SimClock(now_ns=500.0))
+        times = issue_times(controller)
+        controller.fetch_block(0)
+        assert times and all(t >= 500.0 for t in times)
+
+    def test_explicit_at_overrides_clock(self, tiny_config):
+        controller = SecureMemoryController(tiny_config,
+                                            clock=SimClock(now_ns=500.0))
+        times = issue_times(controller)
+        controller.fetch_block(0, 100.0)
+        assert times and all(100.0 <= t < 500.0 for t in times)
+
+    def test_now_ns_keyword_still_works_with_warning(self, tiny_config):
+        controller = SecureMemoryController(tiny_config)
+        times = issue_times(controller)
+        with pytest.warns(DeprecationWarning, match="now_ns"):
+            controller.fetch_block(0, now_ns=100.0)
+        assert times and all(t >= 100.0 for t in times)
+        with pytest.warns(DeprecationWarning, match="now_ns"):
+            controller.store_block(64, bytes(64), now_ns=200.0)
+
+    def test_machine_shares_one_clock(self, tiny_config):
+        machine = Machine(tiny_config, shredder=True)
+        assert machine.controller.clock is machine.clock
+        machine.clock.advance(99.0)
+        assert machine.controller.clock.now_ns == 99.0
+
+
+class TestCounterFetch:
+    def test_named_fields(self, tiny_config):
+        controller = SecureMemoryController(tiny_config)
+        fetch = controller.get_counters(3)
+        assert isinstance(fetch, CounterFetch)
+        assert fetch.counters is not None
+        assert fetch.latency_ns > 0
+        assert fetch.hit is False      # first touch misses
+
+    def test_legacy_tuple_unpacking_still_works(self, tiny_config):
+        controller = SecureMemoryController(tiny_config)
+        fetch = controller.get_counters(3)
+        counters, latency, hit = fetch
+        assert counters is fetch.counters
+        assert latency == fetch.latency_ns
+        assert hit is fetch.hit
+        assert controller.get_counters(3).hit is True   # now resident

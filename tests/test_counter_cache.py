@@ -56,30 +56,70 @@ class TestBasics:
 
 
 class TestFlush:
-    def test_flush_persists_dirty_only(self):
+    def test_flush_returns_dirty_only(self):
         cache = make_cache()
         cache.fill(1, CounterBlock.fresh(4), dirty=True)
         cache.fill(2, CounterBlock.fresh(4), dirty=False)
-        flushed = []
-        count = cache.flush(lambda page, block: flushed.append(page))
-        assert count == 1
-        assert flushed == [1]
+        flushed = cache.flush()
+        assert [e.page_id for e in flushed] == [1]
+        assert all(e.dirty for e in flushed)
 
     def test_flush_marks_clean(self):
         cache = make_cache()
         cache.fill(1, CounterBlock.fresh(4), dirty=True)
-        cache.flush(lambda page, block: None)
+        cache.flush()
         assert cache.dirty_entries() == []
         # A second flush writes nothing.
-        assert cache.flush(lambda page, block: None) == 0
+        assert cache.flush() == []
 
     def test_flush_preserves_contents(self):
         cache = make_cache()
         block = CounterBlock.fresh(4)
         block.shred()
         cache.fill(9, block, dirty=True)
-        cache.flush(lambda page, b: None)
+        flushed = cache.flush()
+        assert flushed[0].block.all_shredded()
         assert cache.peek(9).all_shredded()
+
+    def test_flush_sink_deprecated_but_invoked(self):
+        cache = make_cache()
+        cache.fill(1, CounterBlock.fresh(4), dirty=True)
+        seen = []
+        with pytest.warns(DeprecationWarning):
+            flushed = cache.flush(lambda page, block: seen.append(page))
+        assert seen == [1]
+        assert [e.page_id for e in flushed] == [1]
+
+
+class TestBulkOps:
+    def test_lookup_many_partitions(self):
+        cache = make_cache()
+        cache.fill(1, CounterBlock.fresh(4))
+        cache.fill(2, CounterBlock.fresh(4))
+        result = cache.lookup_many([1, 5, 2, 5, 1])
+        assert sorted(result.hits) == [1, 2]
+        assert result.misses == [5]          # deduped, first-probe order
+        # Every element counted as one probe: 3 hits, 2 misses.
+        assert cache.stats.hits == 3
+        assert cache.stats.misses == 2
+
+    def test_fill_many_returns_victims(self):
+        cache = make_cache(size=2 * 64, assoc=1)   # 2 sets, 1 way
+        victims = cache.fill_many([(0, CounterBlock.fresh(4)),
+                                   (2, CounterBlock.fresh(4))])
+        assert [v.page_id for v in victims] == [0]
+
+    def test_record_hits_bulk_accounting(self):
+        cache = make_cache()
+        cache.fill(3, CounterBlock.fresh(4))
+        cache.record_hits(3, 5)
+        assert cache.stats.hits == 5
+
+    def test_record_hits_requires_resident_line(self):
+        from repro.errors import ConfigError
+        cache = make_cache()
+        with pytest.raises(ConfigError):
+            cache.record_hits(3, 1)
 
 
 class TestGeometry:
