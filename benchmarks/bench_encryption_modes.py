@@ -36,7 +36,7 @@ def run_mode(kind: str) -> dict:
     # data does not linger anywhere — there are no caches here).
     for i in range(BLOCKS):
         controller.store_block(i * 64, bytes([i % 251 + 1]) * 64,
-                               now_ns=i * 500.0)
+                               i * 500.0)
     if kind == "ctr+shredder":
         # Half the pages get recycled: shredded, then read (zero-fill).
         pages = BLOCKS * 64 // 4096 + 1
@@ -46,7 +46,7 @@ def run_mode(kind: str) -> dict:
     for i in range(BLOCKS):
         # Space the requests out so queueing does not mask the
         # per-access latency difference between the designs.
-        read_ns += controller.fetch_block(i * 64, now_ns=i * 500.0).latency_ns
+        read_ns += controller.fetch_block(i * 64, i * 500.0).latency_ns
     return {
         "mode": kind,
         "avg_read_ns": round(read_ns / BLOCKS, 1),

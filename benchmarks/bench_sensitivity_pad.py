@@ -31,13 +31,13 @@ def read_latency(kind: str, pad_cycles: int) -> float:
     else:
         controller = SilentShredderController(config)
     for i in range(BLOCKS):
-        controller.store_block(i * 64, bytes([i + 1]) * 64, now_ns=i * 500.0)
+        controller.store_block(i * 64, bytes([i + 1]) * 64, i * 500.0)
     if kind == "shredded":
         for page in range(BLOCKS * 64 // 4096 + 1):
             controller.shred_page(page)
     total = 0.0
     for i in range(BLOCKS):
-        total += controller.fetch_block(i * 64, now_ns=i * 500.0).latency_ns
+        total += controller.fetch_block(i * 64, i * 500.0).latency_ns
     return total / BLOCKS
 
 

@@ -13,7 +13,6 @@ propagated to the NVM counter region by the owning controller.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Optional,
                     Tuple)
@@ -157,21 +156,18 @@ class CounterCache:
         flushed block (``dirty=True`` — they were dirty when flushed),
         in ascending page order. The caller persists them.
 
-        Passing a ``sink`` callable is deprecated; it is still invoked
-        per entry for old callers, with a :class:`DeprecationWarning`.
+        The deprecated per-entry ``sink`` callable was removed; passing
+        one raises ``TypeError``.
         """
         if sink is not None:
-            warnings.warn(
-                "CounterCache.flush(sink) is deprecated; call flush() and "
-                "persist the returned CounterEviction list instead",
-                DeprecationWarning, stacklevel=2)
+            raise TypeError(
+                "CounterCache.flush(sink) was removed; call flush() and "
+                "persist the returned CounterEviction list instead")
         flushed: List[CounterEviction] = []
         for address in self._cache.resident_addresses():
             line = self._cache.peek(address)
             if line is not None and line.dirty:
                 page_id = address // self._block_size
-                if sink is not None:
-                    sink(page_id, line.payload)
                 line.dirty = False
                 flushed.append(CounterEviction(page_id=page_id,
                                                block=line.payload,

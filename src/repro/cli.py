@@ -12,7 +12,12 @@ Commands
 ``figure``
     Regenerate one of the paper's figures/tables and print its data.
 ``worker serve``
-    Run a distributed experiment worker (TCP task server).
+    Run a distributed experiment worker — a TCP task server, or (with
+    ``--register HOST:PORT``) a dial-out worker registered with an
+    experiment cluster dispatcher.
+``cluster serve`` / ``status`` / ``drain`` / ``shutdown`` / ``keygen``
+    Run and administer the long-lived multi-tenant experiment cluster
+    (``repro.exec.cluster``); see ``docs/SERVICE.md``.
 ``cache sweep``
     Apply LRU size/age bounds to the persistent result cache.
 ``stats``
@@ -43,7 +48,7 @@ from .analysis import (ablation_policies, fig12_counter_cache_sweep,
 from .analysis.figures import fig8_to_11_study, study_summary
 from .config import bench_config, default_config
 from .errors import BackendError
-from .exec import (DistributedBackend, ProgressEvent, Runner,
+from .exec import (ExecutionBackend, ProgressEvent, Runner,
                    powergraph_experiment, spec_experiment)
 from .workloads import SPEC_BENCHMARKS
 
@@ -81,23 +86,34 @@ def _cli_progress(event: ProgressEvent) -> None:
 def _runner_context(args: argparse.Namespace):
     """The execution engine for a CLI invocation, with lifecycle.
 
-    ``--workers host:port,...`` dispatches to an existing worker
-    fleet; ``--spawn-local N`` forks N workers on this machine and
-    tears them down afterwards; otherwise ``--jobs`` picks serial or a
-    local fork pool. On exit, ``--emit-metrics PATH`` writes the
-    run's merged registry (simulation metrics folded in from every
-    completed report, plus batch/dispatch telemetry) and recorded
-    spans as a JSON-lines dump.
+    ``--backend SPEC`` picks any backend by spec string (grammar in
+    :mod:`repro.exec.spec`); ``--workers host:port,...`` dispatches to
+    an existing worker fleet; ``--spawn-local N`` forks N workers on
+    this machine and tears them down afterwards; otherwise ``--jobs``
+    picks serial or a local fork pool. On exit, ``--emit-metrics
+    PATH`` writes the run's merged registry (simulation metrics folded
+    in from every completed report, plus batch/dispatch telemetry) and
+    recorded spans as a JSON-lines dump.
     """
     from .obs import MetricsRegistry, default_tracer, write_jsonl
+    spec = getattr(args, "backend", None)
     workers = getattr(args, "workers", None)
     spawn_local = getattr(args, "spawn_local", None)
-    if workers and spawn_local:
-        raise BackendError("pass either --workers or --spawn-local, not both")
+    exclusive = [flag for flag, value in
+                 (("--backend", spec), ("--workers", workers),
+                  ("--spawn-local", spawn_local)) if value]
+    if len(exclusive) > 1:
+        raise BackendError(
+            f"pass at most one of {', '.join(exclusive)}")
     metrics = MetricsRegistry()
     pool = []
     try:
-        if workers or spawn_local:
+        if spec:
+            backend = ExecutionBackend.from_spec(
+                spec, metrics=metrics, task_timeout=args.task_timeout)
+            runner = Runner(backend=backend, use_cache=not args.no_cache,
+                            progress=_cli_progress, metrics=metrics)
+        elif workers or spawn_local:
             if spawn_local:
                 from .exec.worker import spawn_local_workers
                 pool = spawn_local_workers(spawn_local)
@@ -105,6 +121,7 @@ def _runner_context(args: argparse.Namespace):
             else:
                 addresses = [part.strip() for part in workers.split(",")
                              if part.strip()]
+            from .exec import DistributedBackend
             backend = DistributedBackend(addresses,
                                          task_timeout=args.task_timeout,
                                          metrics=metrics)
@@ -212,14 +229,134 @@ def _run_figure(args: argparse.Namespace, which: str, runner: Runner) -> int:
 
 
 def _cmd_worker_serve(args: argparse.Namespace) -> int:
-    from .exec.worker import serve
-    served = serve(args.host, args.port, max_tasks=args.max_tasks,
-                   cache_dir=args.cache_dir,
-                   emit_metrics=args.emit_metrics,
-                   metrics_port=args.metrics_port,
-                   announce=lambda line: print(f"repro worker {line}",
-                                               flush=True))
+    def announce(line: str) -> None:
+        print(f"repro worker {line}", flush=True)
+
+    if args.register:
+        served = _registered_worker_session(args, announce)
+    else:
+        from .exec.worker import serve
+        served = serve(args.host, args.port, max_tasks=args.max_tasks,
+                       cache_dir=args.cache_dir,
+                       emit_metrics=args.emit_metrics,
+                       metrics_port=args.metrics_port,
+                       announce=announce)
     print(f"worker stopped after {served} tasks", file=sys.stderr)
+    return 0
+
+
+def _registered_worker_session(args: argparse.Namespace, announce) -> int:
+    """``repro worker serve --register``: dial out to a dispatcher."""
+    from .exec.worker import run_registered_worker
+    from .obs import MetricsRegistry, write_jsonl
+    metrics = MetricsRegistry()
+    scrape = None
+    if args.metrics_port is not None:
+        from .obs import start_metrics_server
+        scrape = start_metrics_server(metrics, host=args.host,
+                                      port=args.metrics_port)
+        announce(f"metrics on http://{scrape.endpoint}/metrics")
+    served = 0
+    try:
+        served = run_registered_worker(
+            args.register, keyfile=args.keyfile, cache_dir=args.cache_dir,
+            max_tasks=args.max_tasks, heartbeat=args.heartbeat,
+            metrics=metrics, announce=announce)
+    except KeyboardInterrupt:   # pragma: no cover - interactive only
+        pass
+    finally:
+        if scrape is not None:
+            scrape.close()
+        if args.emit_metrics:
+            with open(args.emit_metrics, "w") as stream:
+                write_jsonl(metrics.snapshot(), stream,
+                            meta={"role": "registered-worker",
+                                  "dispatcher": args.register,
+                                  "tasks_served": served})
+    return served
+
+
+# ---------------------------------------------------------------------------
+# Cluster administration
+# ---------------------------------------------------------------------------
+
+def _cluster_auth(args: argparse.Namespace):
+    if getattr(args, "keyfile", None):
+        from .exec.wire import FrameAuth
+        return FrameAuth.from_keyfile(args.keyfile)
+    return None
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    from .exec.cluster import ClusterServer
+    cache = None
+    if args.cache_dir:
+        from .exec import ResultCache
+        cache = ResultCache(args.cache_dir)
+    server = ClusterServer(host=args.host, port=args.port,
+                           auth=_cluster_auth(args), cache=cache,
+                           task_timeout=args.task_timeout,
+                           max_retries=args.max_retries,
+                           heartbeat_timeout=args.heartbeat_timeout)
+    host, port = server.start()
+    print(f"repro cluster listening on {host}:{port}", flush=True)
+    scrape = None
+    if args.metrics_port is not None:
+        from .obs import start_metrics_server
+        scrape = start_metrics_server(server.dispatcher.metrics,
+                                      host=args.host, port=args.metrics_port)
+        print(f"repro cluster metrics on http://{scrape.endpoint}/metrics",
+              flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:   # pragma: no cover - interactive only
+        pass
+    finally:
+        server.close()
+        if scrape is not None:
+            scrape.close()
+        if args.emit_metrics:
+            from .obs import write_jsonl
+            with open(args.emit_metrics, "w") as stream:
+                write_jsonl(server.dispatcher.metrics.snapshot(), stream,
+                            meta={"role": "cluster-dispatcher",
+                                  "endpoint": f"{host}:{port}"})
+    print("cluster dispatcher stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .exec.cluster import cluster_status
+    status = cluster_status(args.address, auth=_cluster_auth(args))
+    json.dump(status, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_cluster_drain(args: argparse.Namespace) -> int:
+    from .exec.cluster import cluster_drain
+    reply = cluster_drain(args.address, auth=_cluster_auth(args),
+                          stop_workers=args.stop_workers,
+                          timeout=args.task_timeout)
+    print(f"cluster drained: {reply.get('completed', 0)} tasks completed "
+          f"in {reply.get('duration_s', 0.0):.3f}s")
+    return 0
+
+
+def _cmd_cluster_shutdown(args: argparse.Namespace) -> int:
+    from .exec.cluster import cluster_shutdown
+    cluster_shutdown(args.address, auth=_cluster_auth(args))
+    print("cluster dispatcher asked to stop")
+    return 0
+
+
+def _cmd_cluster_keygen(args: argparse.Namespace) -> int:
+    from .exec.wire import FrameAuth
+    FrameAuth.generate_keyfile(args.path)
+    print(f"cluster key written to {args.path} (mode 0600); distribute it "
+          f"to every dispatcher, worker, and client")
     return 0
 
 
@@ -296,11 +433,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("error: --compare gates exactly one scenario per baseline "
               "file", file=sys.stderr)
         return 2
+    tracer = None
+    if args.emit_metrics:
+        from .obs import SpanTracer
+        tracer = SpanTracer()
     status = 0
     for name in names:
         try:
             result = run_scenario(name, warmup=args.warmup,
-                                  repeat=args.repeat)
+                                  repeat=args.repeat, tracer=tracer)
         except ExperimentError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -333,6 +474,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             else:
                 print(f"{name}: within {args.threshold:.0%} of baseline "
                       f"{args.compare}")
+    if args.emit_metrics:
+        from .obs import MetricsRegistry, write_jsonl
+        with open(args.emit_metrics, "w") as stream:
+            write_jsonl(MetricsRegistry().snapshot(), stream,
+                        spans=tracer.snapshot(),
+                        meta={"command": "bench",
+                              "scenarios": list(names)})
+        print(f"(metrics written to {args.emit_metrics})", file=sys.stderr)
     return status
 
 
@@ -382,29 +531,71 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+# ---------------------------------------------------------------------------
+# Shared flag surface
+#
+# Every flag that appears on more than one subcommand is defined exactly
+# once, in a parent parser, so ``--jobs``/``--workers``/``--backend``/
+# ``--task-timeout``/``--emit-metrics`` are spelled and help-texted
+# identically across figure/compare/bench/worker/cluster.
+# ---------------------------------------------------------------------------
+
+def _parent(add_flags) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    add_flags(parent)
+    return parent
+
+
+def _flag_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                         help="worker processes for the experiment runner "
                              "(default: 1, serial)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="ignore and do not populate the persistent "
-                             "result cache")
+
+
+def _flag_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", metavar="SPEC", default=None,
+                        help="execution backend spec: serial | fork[:N] | "
+                             "dist://host:port,... | cluster://host:port"
+                             "[?weight=N&client=NAME&keyfile=PATH] "
+                             "(see docs/SERVICE.md)")
+
+
+def _flag_workers(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", metavar="HOST:PORT[,HOST:PORT...]",
                         help="dispatch to remote 'repro worker serve' "
                              "endpoints instead of local processes "
                              "(overrides --jobs)")
-    parser.add_argument("--task-timeout", type=float, default=300.0,
-                        metavar="SECONDS",
-                        help="per-task timeout for --workers dispatch "
-                             "(default: 300)")
     parser.add_argument("--spawn-local", type=_positive_int, default=None,
                         metavar="N",
                         help="fork N local worker processes and dispatch "
                              "to them (mutually exclusive with --workers)")
+
+
+def _flag_task_timeout(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--task-timeout", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="per-task timeout for distributed/cluster "
+                             "dispatch (default: 300)")
+
+
+def _flag_emit_metrics(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--emit-metrics", metavar="PATH", default=None,
                         help="write the run's merged metrics registry and "
                              "spans as a JSON-lines dump (read it back "
                              "with 'repro stats')")
+
+
+def _flag_no_cache(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not populate the persistent "
+                             "result cache")
+
+
+def _flag_keyfile(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--keyfile", metavar="PATH", default=None,
+                        help="shared HMAC key for authenticated cluster "
+                             "frames (generate with 'repro cluster "
+                             "keygen')")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -412,6 +603,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Silent Shredder (ASPLOS 2016) reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Shared parent parsers: one definition per flag (see above).
+    runner_flags = _parent(lambda p: (_flag_jobs(p), _flag_backend(p),
+                                      _flag_workers(p), _flag_task_timeout(p),
+                                      _flag_no_cache(p),
+                                      _flag_emit_metrics(p)))
+    emit_metrics_flag = _parent(_flag_emit_metrics)
+    task_timeout_flag = _parent(_flag_task_timeout)
+    keyfile_flag = _parent(_flag_keyfile)
 
     describe = sub.add_parser("describe", help="print the system config")
     describe.add_argument("--full", action="store_true",
@@ -422,17 +622,17 @@ def build_parser() -> argparse.ArgumentParser:
     listing = sub.add_parser("list-benchmarks", help="list workloads")
     listing.set_defaults(func=_cmd_list)
 
-    compare = sub.add_parser("compare",
+    compare = sub.add_parser("compare", parents=[runner_flags],
                              help="baseline vs Silent Shredder on one workload")
     compare.add_argument("--benchmark", default="GCC")
     compare.add_argument("--scale", type=float, default=0.5)
     compare.add_argument("--cores", type=int, default=2)
     compare.add_argument("--nodes", type=int, default=1500,
                          help="graph size for PowerGraph workloads")
-    _add_runner_flags(compare)
     compare.set_defaults(func=_cmd_compare)
 
-    figure = sub.add_parser("figure", help="regenerate a paper figure/table")
+    figure = sub.add_parser("figure", parents=[runner_flags],
+                            help="regenerate a paper figure/table")
     figure.add_argument("name", choices=FIGURES)
     figure.add_argument("--scale", type=float, default=0.5)
     figure.add_argument("--cores", type=int, default=2)
@@ -440,7 +640,6 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--benchmarks",
                         help="comma-separated subset for fig8-fig11 "
                              "(default: the full SPEC + PowerGraph suite)")
-    _add_runner_flags(figure)
     figure.set_defaults(func=_cmd_figure)
 
     export = sub.add_parser("export-config",
@@ -453,20 +652,27 @@ def build_parser() -> argparse.ArgumentParser:
     worker = sub.add_parser("worker", help="distributed execution workers")
     worker_sub = worker.add_subparsers(dest="worker_command", required=True)
     serve = worker_sub.add_parser(
-        "serve", help="run a TCP experiment worker on this machine")
+        "serve", parents=[emit_metrics_flag, keyfile_flag],
+        help="run an experiment worker: a TCP task server, or (with "
+             "--register) a dial-out worker on an experiment cluster")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0,
                        help="listen port (default: 0, OS-assigned; the "
                             "bound endpoint is printed on startup)")
+    serve.add_argument("--register", metavar="HOST:PORT", default=None,
+                       help="register with the experiment cluster "
+                            "dispatcher at HOST:PORT over one persistent "
+                            "connection instead of listening locally")
+    serve.add_argument("--heartbeat", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="idle heartbeat period for --register mode "
+                            "(default: 5)")
     serve.add_argument("--max-tasks", type=_positive_int, default=None,
                        metavar="N",
                        help="exit after serving N tasks (default: forever)")
     serve.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="consult/populate a worker-side result cache "
                             "rooted at DIR before executing each task")
-    serve.add_argument("--emit-metrics", metavar="PATH", default=None,
-                       help="write the worker's final metrics registry as "
-                            "a JSON-lines dump on shutdown")
     serve.add_argument("--metrics-port", type=int, default=None,
                        metavar="PORT",
                        help="also serve the live registry at "
@@ -474,6 +680,65 @@ def build_parser() -> argparse.ArgumentParser:
                             "text format (0 picks a free port; the "
                             "endpoint is printed on startup)")
     serve.set_defaults(func=_cmd_worker_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="the long-lived multi-tenant experiment cluster "
+             "(docs/SERVICE.md)")
+    cluster_sub = cluster.add_subparsers(dest="cluster_command",
+                                         required=True)
+    cserve = cluster_sub.add_parser(
+        "serve", parents=[task_timeout_flag, emit_metrics_flag,
+                          keyfile_flag],
+        help="run the cluster dispatcher in the foreground")
+    cserve.add_argument("--host", default="127.0.0.1")
+    cserve.add_argument("--port", type=int, default=0,
+                        help="listen port (default: 0, OS-assigned; the "
+                             "bound endpoint is printed on startup)")
+    cserve.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cluster-wide shared result cache: any "
+                             "client's warm hit serves every client")
+    cserve.add_argument("--max-retries", type=int, default=3, metavar="N",
+                        help="failed attempts a task survives before its "
+                             "batch fails (default: 3)")
+    cserve.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="declare a silent worker dead after this many "
+                             "seconds (default: 30)")
+    cserve.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="also serve the live registry at "
+                             "http://HOST:PORT/metrics in the Prometheus "
+                             "text format (0 picks a free port; the "
+                             "endpoint is printed on startup)")
+    cserve.set_defaults(func=_cmd_cluster_serve)
+
+    cstatus = cluster_sub.add_parser(
+        "status", parents=[keyfile_flag],
+        help="print the dispatcher's live status as JSON")
+    cstatus.add_argument("address", metavar="HOST:PORT")
+    cstatus.set_defaults(func=_cmd_cluster_status)
+
+    cdrain = cluster_sub.add_parser(
+        "drain", parents=[keyfile_flag, task_timeout_flag],
+        help="finish all queued and in-flight work, then refuse new "
+             "batches")
+    cdrain.add_argument("address", metavar="HOST:PORT")
+    cdrain.add_argument("--stop-workers", action="store_true",
+                        help="also say goodbye to every registered worker "
+                             "once drained")
+    cdrain.set_defaults(func=_cmd_cluster_drain)
+
+    cshutdown = cluster_sub.add_parser(
+        "shutdown", parents=[keyfile_flag],
+        help="stop the dispatcher itself")
+    cshutdown.add_argument("address", metavar="HOST:PORT")
+    cshutdown.set_defaults(func=_cmd_cluster_shutdown)
+
+    ckeygen = cluster_sub.add_parser(
+        "keygen", help="generate a fresh shared cluster keyfile (0600)")
+    ckeygen.add_argument("path", help="where to write the keyfile")
+    ckeygen.set_defaults(func=_cmd_cluster_keygen)
 
     cache = sub.add_parser("cache", help="persistent result cache upkeep")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -519,7 +784,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.set_defaults(func=_cmd_analyze)
 
     bench = sub.add_parser(
-        "bench",
+        "bench", parents=[emit_metrics_flag],
         help="run performance scenarios through the access engines and "
              "record BENCH_<scenario>.json trajectories")
     bench.add_argument("scenarios", nargs="*",

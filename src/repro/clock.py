@@ -1,21 +1,20 @@
-"""Simulated-time plumbing: :class:`SimClock` and the ``now_ns`` shim.
+"""Simulated-time plumbing: :class:`SimClock` and the ``at=`` contract.
 
 Historically every datapath method on the controllers took the current
 simulated time as a positional ``now_ns: float = 0.0`` argument, and
-each caller threaded it by hand. That convention is deprecated in two
-steps:
-
-* the time parameter is now called ``at`` and may be omitted — each
-  controller carries a :class:`SimClock` whose ``now_ns`` is used when
-  no explicit time is given, so engines advance one shared clock
-  instead of threading floats through every frame;
-* the old keyword spelling ``now_ns=`` still works on the public
-  datapath methods (``fetch_block``/``store_block``/``read_block``/
-  ``write_block``) but raises a :class:`DeprecationWarning` via
-  :func:`resolve_time`.
-
+each caller threaded it by hand. The parameter is now called ``at``
+and may be omitted — each controller carries a :class:`SimClock` whose
+``now_ns`` is used when no explicit time is given, so engines advance
+one shared clock instead of threading floats through every frame.
 Positional call sites (``fetch_block(addr, t)``) bind to ``at``
-unchanged, so existing code keeps working silently.
+unchanged.
+
+The deprecated keyword spelling ``now_ns=`` went through its
+DeprecationWarning cycle and is now **removed**: passing it raises
+``TypeError`` with a migration pointer (the keyword is still accepted
+syntactically on the public datapath methods so the error can explain
+itself rather than surface as an inscrutable "unexpected keyword
+argument").
 
 The clock holds *simulated* nanoseconds — it is advanced explicitly by
 engines, never read from the host (analyzer rule REPRO101 forbids wall
@@ -24,7 +23,6 @@ clocks in simulation layers).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -61,17 +59,16 @@ def resolve_time(clock: Optional[SimClock], at: Optional[float],
                  now_ns: Optional[float]) -> float:
     """Pick the effective simulated time for one datapath call.
 
-    Precedence: an explicit deprecated ``now_ns=`` keyword (warns), then
-    an explicit ``at``, then the carried clock, then 0.0 — the last two
-    make the historical default (``now_ns=0.0``) the fallback, so
-    callers that never passed a time see identical behaviour.
+    Precedence: an explicit ``at``, then the carried clock, then 0.0 —
+    the last two make the historical default (``now_ns=0.0``) the
+    fallback, so callers that never pass a time see identical
+    behaviour. The removed ``now_ns=`` keyword raises ``TypeError``.
     """
     if now_ns is not None:
-        warnings.warn(
-            "the now_ns= keyword is deprecated; pass the time positionally "
-            "as 'at' or let the controller's SimClock supply it",
-            DeprecationWarning, stacklevel=3)
-        return now_ns
+        raise TypeError(
+            "the now_ns= keyword was removed; pass the time positionally "
+            "as 'at' (fetch_block(addr, t)) or let the controller's "
+            "SimClock supply it")
     if at is not None:
         return at
     if clock is not None:

@@ -85,10 +85,10 @@ class AccessResult:
 class CounterFetch:
     """Outcome of one counter-cache probe (:meth:`get_counters`).
 
-    Replaces the old bare-tuple returns. Iterating yields
-    ``(counters, latency_ns, hit)`` so legacy tuple-unpacking call
-    sites keep working; that protocol is deprecated (docs/API.md) —
-    new code should use the named fields.
+    Replaces the old bare-tuple returns. The tuple-unpacking
+    compatibility protocol went through its DeprecationWarning cycle
+    and is now removed — use the named fields ``.counters``,
+    ``.latency_ns`` and ``.hit`` (docs/API.md).
     """
 
     counters: CounterBlock
@@ -96,9 +96,9 @@ class CounterFetch:
     hit: bool = True
 
     def __iter__(self) -> Iterator[object]:
-        yield self.counters
-        yield self.latency_ns
-        yield self.hit
+        raise TypeError(
+            "tuple-unpacking a CounterFetch was removed; use the named "
+            "fields .counters / .latency_ns / .hit")
 
 
 class SecureMemoryController:

@@ -90,3 +90,24 @@ class BackendError(ExperimentError):
 class WireProtocolError(BackendError):
     """A malformed, truncated, or oversized frame on the worker wire
     protocol (see :mod:`repro.exec.wire`)."""
+
+
+class WireAuthError(WireProtocolError):
+    """A frame failed HMAC authentication.
+
+    Raised when a peer presents a frame without a valid signature on an
+    authenticated connection (wrong shared key, no key, or a tampered
+    payload), or when a keyfile is unusable. Subclasses
+    :class:`WireProtocolError` so transport-level error handling treats
+    an unauthenticated peer like any other protocol violation: drop the
+    connection.
+    """
+
+
+class ClusterError(BackendError):
+    """The experiment cluster could not serve a request.
+
+    Raised by :class:`~repro.exec.ClusterBackend` and the cluster admin
+    helpers when the dispatcher rejects a connection (bad auth,
+    draining), violates the session protocol, or disappears mid-batch.
+    """

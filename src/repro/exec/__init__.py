@@ -25,10 +25,19 @@ Example::
     baseline, shredder = experiment_pair(spec_experiment("GCC", scale=0.5))
     reports = run_experiments([baseline, shredder], jobs=2)
 
-    # ... or across machines:
-    from repro.exec import DistributedBackend, Runner
-    backend = DistributedBackend(["nvm-box-1:7070", "nvm-box-2:7070"])
-    reports = Runner(backend=backend).run([baseline, shredder])
+    # ... or across machines, via a backend spec string:
+    reports = Runner(backend="dist://nvm-box-1:7070,nvm-box-2:7070") \\
+        .run([baseline, shredder])
+
+    # ... or through a shared multi-tenant cluster (see docs/SERVICE.md):
+    reports = Runner(backend="cluster://nvm-hub:7071?weight=2") \\
+        .run([baseline, shredder])
+
+Backends are described by :class:`BackendSpec` strings — ``"serial"``,
+``"fork:8"``, ``"dist://host:port,..."``, ``"cluster://host:port"`` —
+parsed by :meth:`ExecutionBackend.from_spec`; the long-lived cluster
+service itself (dispatcher, fair queue, registered workers) lives in
+:mod:`repro.exec.cluster`.
 """
 
 from .backends import (DistributedBackend, ExecutionBackend, ForkPoolBackend,
@@ -37,28 +46,45 @@ from .bench import (SCENARIOS, BenchScenario, compare_results, load_result,
                     run_scenario, scenario_names, write_result)
 from .cache import (CacheStats, ResultCache, SweepResult, code_version_salt,
                     default_cache, default_cache_dir)
+from .cluster import (ClusterBackend, ClusterDispatcher, ClusterServer,
+                      FairQueue, cluster_drain, cluster_shutdown,
+                      cluster_status)
 from .experiment import (Experiment, experiment_pair, powergraph_experiment,
                          spec_experiment)
 from .runner import ProgressEvent, Runner, run_experiments
-from .worker import (LocalWorker, WorkerServer, local_worker_pool,
-                     spawn_local_workers, worker_addresses)
+from .spec import BackendSpec
+from .wire import FrameAuth
+from .worker import (LocalWorker, RegisteredWorker, WorkerServer,
+                     local_worker_pool, registered_worker_pool,
+                     run_registered_worker, spawn_local_workers,
+                     spawn_registered_workers, worker_addresses)
 from .workloads import execute_experiment, register_workload, workload_kinds
 
 __all__ = [
+    "BackendSpec",
     "BenchScenario",
     "CacheStats",
+    "ClusterBackend",
+    "ClusterDispatcher",
+    "ClusterServer",
     "DistributedBackend",
     "SCENARIOS",
     "ExecutionBackend",
     "Experiment",
+    "FairQueue",
     "ForkPoolBackend",
+    "FrameAuth",
     "LocalWorker",
     "ProgressEvent",
+    "RegisteredWorker",
     "ResultCache",
     "Runner",
     "SerialBackend",
     "SweepResult",
     "WorkerServer",
+    "cluster_drain",
+    "cluster_shutdown",
+    "cluster_status",
     "code_version_salt",
     "compare_results",
     "default_cache",
@@ -70,11 +96,14 @@ __all__ = [
     "parse_address",
     "powergraph_experiment",
     "register_workload",
+    "registered_worker_pool",
     "resolve_backend",
     "run_experiments",
+    "run_registered_worker",
     "run_scenario",
     "scenario_names",
     "spawn_local_workers",
+    "spawn_registered_workers",
     "spec_experiment",
     "worker_addresses",
     "workload_kinds",

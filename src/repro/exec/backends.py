@@ -52,6 +52,7 @@ from ..errors import BackendError, WireProtocolError
 from ..obs import DEFAULT_DURATION_BUCKETS_NS, MetricsRegistry
 from ..sim.system import SystemReport
 from .experiment import Experiment
+from .spec import BackendSpec
 from .wire import (MSG_ERROR, MSG_RESULT, recv_message, run_request,
                    send_message)
 from .workloads import execute_experiment
@@ -103,6 +104,23 @@ class ExecutionBackend(abc.ABC):
     def describe(self) -> str:
         """A short human-readable label for logs and CLI output."""
         return type(self).__name__
+
+    @classmethod
+    def from_spec(cls, spec: Union["ExecutionBackend", BackendSpec, str], *,
+                  metrics: Optional[MetricsRegistry] = None,
+                  task_timeout: Optional[float] = None) -> "ExecutionBackend":
+        """The backend a spec string / :class:`BackendSpec` describes.
+
+        The one factory behind every entry point: ``"serial"``,
+        ``"fork:8"``, ``"dist://h1:7070,h2:7070"``,
+        ``"cluster://host:7071?weight=3"`` (grammar in
+        :mod:`repro.exec.spec`). An already-constructed backend passes
+        through unchanged, so call sites can accept either form.
+        """
+        if isinstance(spec, ExecutionBackend):
+            return spec
+        return BackendSpec.coerce(spec).create(metrics=metrics,
+                                               task_timeout=task_timeout)
 
 
 class SerialBackend(ExecutionBackend):
@@ -434,19 +452,24 @@ class DistributedBackend(ExecutionBackend):
 
 
 def resolve_backend(jobs: int = 1,
-                    backend: Optional[ExecutionBackend] = None,
+                    backend: Optional[Union[ExecutionBackend, BackendSpec,
+                                            str]] = None,
                     ) -> ExecutionBackend:
     """The backend a ``Runner(jobs=..., backend=...)`` call means.
 
     An explicit ``backend`` wins (and is incompatible with ``jobs >
-    1`` — the two would contradict each other); otherwise ``jobs``
-    picks serial or a fork pool, preserving the original ``Runner``
-    behaviour.
+    1`` — the two would contradict each other); it may be an
+    :class:`ExecutionBackend` instance, a :class:`BackendSpec`, or a
+    spec string like ``"fork:8"`` or ``"cluster://host:7071"``.
+    Otherwise ``jobs`` picks serial or a fork pool, preserving the
+    original ``Runner`` behaviour.
     """
     if backend is not None:
+        if isinstance(backend, (str, BackendSpec)):
+            backend = ExecutionBackend.from_spec(backend)
         if not isinstance(backend, ExecutionBackend):
             raise BackendError(
-                f"backend must be an ExecutionBackend, "
+                f"backend must be an ExecutionBackend or spec string, "
                 f"got {type(backend).__name__}")
         if jobs != 1:
             raise BackendError(

@@ -124,9 +124,11 @@ class Runner:
         ``N > 1`` uses a local fork pool. Shorthand for the matching
         ``backend``.
     backend:
-        An explicit :class:`~repro.exec.ExecutionBackend` (e.g.
-        :class:`~repro.exec.DistributedBackend`). Mutually exclusive
-        with ``jobs > 1``.
+        An explicit :class:`~repro.exec.ExecutionBackend` instance, a
+        :class:`~repro.exec.BackendSpec`, or a spec string such as
+        ``"serial"``, ``"fork:8"``, ``"dist://h1:7070,h2:7070"`` or
+        ``"cluster://host:7071?weight=3"`` (grammar in
+        :mod:`repro.exec.spec`). Mutually exclusive with ``jobs > 1``.
     cache:
         The :class:`ResultCache` to consult/populate; defaults to the
         shared :func:`default_cache`. Ignored when ``use_cache`` is
@@ -148,7 +150,7 @@ class Runner:
     """
 
     def __init__(self, jobs: int = 1, *,
-                 backend: Optional[ExecutionBackend] = None,
+                 backend: Optional[Union[ExecutionBackend, str]] = None,
                  cache: Optional[ResultCache] = None,
                  use_cache: bool = True,
                  progress: Optional[Union[ProgressEventFn,
@@ -269,7 +271,7 @@ class Runner:
 
 
 def run_experiments(experiments: Iterable[Experiment], *, jobs: int = 1,
-                    backend: Optional[ExecutionBackend] = None,
+                    backend: Optional[Union[ExecutionBackend, str]] = None,
                     use_cache: bool = True,
                     cache: Optional[ResultCache] = None,
                     progress: Optional[Union[ProgressEventFn,

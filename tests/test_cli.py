@@ -1,5 +1,8 @@
 """The command-line interface."""
 
+import argparse
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -197,6 +200,18 @@ class TestObservabilityCli:
         assert "mem.ctrl.data_writes" in dump.metrics
         assert any(s["name"] == "exec.batch" for s in dump.spans)
 
+    def test_bench_emits_metrics_dump(self, tmp_path, capsys):
+        dump_path = tmp_path / "bench-metrics.jsonl"
+        assert main(["bench", "smoke", "--warmup", "0", "--repeat", "1",
+                     "--output-dir", str(tmp_path),
+                     "--emit-metrics", str(dump_path)]) == 0
+        from repro.obs import read_jsonl
+        with open(dump_path, encoding="utf-8") as stream:
+            dump = read_jsonl(stream)
+        assert dump.meta["command"] == "bench"
+        assert dump.meta["scenarios"] == ["smoke"]
+        assert any(s["name"].startswith("bench.") for s in dump.spans)
+
     def test_stats_renders_dump(self, tmp_path, capsys):
         dump_path = tmp_path / "metrics.jsonl"
         main(["compare", "--benchmark", "HMMER", "--scale", "0.1",
@@ -232,4 +247,123 @@ class TestObservabilityCli:
         assert main(["compare", "--benchmark", "HMMER", "--scale", "0.1",
                      "--spawn-local", "1",
                      "--workers", "127.0.0.1:1"]) == 1
-        assert "not both" in capsys.readouterr().err
+        assert "at most one" in capsys.readouterr().err
+
+
+class TestFlagSurface:
+    """The unified flag surface: one definition per shared flag, so
+    spelling, defaults and help text agree across every subcommand."""
+
+    RUNNER_COMMANDS = {
+        "compare": ["compare"],
+        "figure": ["figure", "fig8"],
+    }
+
+    def subparser(self, *path):
+        """The argparse subparser object behind a command path."""
+        parser = build_parser()
+        for name in path:
+            actions = [a for a in parser._actions
+                       if isinstance(a, argparse._SubParsersAction)]
+            parser = actions[0].choices[name]
+        return parser
+
+    def flag(self, subparser, option):
+        for action in subparser._actions:
+            if option in action.option_strings:
+                return action
+        raise AssertionError(f"{option} missing from {subparser.prog}")
+
+    def test_runner_flags_identical_across_compare_and_figure(self):
+        for option in ("--jobs", "--backend", "--workers", "--spawn-local",
+                       "--task-timeout", "--no-cache", "--emit-metrics"):
+            actions = [self.flag(self.subparser(cmd), option)
+                       for cmd in ("compare", "figure")]
+            helps = {a.help for a in actions}
+            defaults = {a.default for a in actions}
+            assert len(helps) == 1, f"{option} help text diverged"
+            assert len(defaults) == 1, f"{option} default diverged"
+
+    def test_emit_metrics_spelled_identically_everywhere(self):
+        surfaces = [self.subparser("compare"), self.subparser("figure"),
+                    self.subparser("bench"),
+                    self.subparser("worker", "serve"),
+                    self.subparser("cluster", "serve")]
+        helps = {self.flag(s, "--emit-metrics").help for s in surfaces}
+        assert len(helps) == 1
+
+    def test_task_timeout_shared_with_cluster_commands(self):
+        surfaces = [self.subparser("compare"),
+                    self.subparser("cluster", "serve"),
+                    self.subparser("cluster", "drain")]
+        helps = {self.flag(s, "--task-timeout").help for s in surfaces}
+        defaults = {self.flag(s, "--task-timeout").default for s in surfaces}
+        assert len(helps) == 1
+        assert defaults == {300.0}
+
+    def test_keyfile_shared_across_worker_and_cluster(self):
+        surfaces = [self.subparser("worker", "serve"),
+                    self.subparser("cluster", "serve"),
+                    self.subparser("cluster", "status"),
+                    self.subparser("cluster", "drain"),
+                    self.subparser("cluster", "shutdown")]
+        helps = {self.flag(s, "--keyfile").help for s in surfaces}
+        assert len(helps) == 1
+
+    def test_backend_spec_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["compare", "--backend", "cluster://hub:7071?weight=2"])
+        assert args.backend == "cluster://hub:7071?weight=2"
+
+    def test_backend_conflicts_with_workers(self, capsys):
+        assert main(["compare", "--benchmark", "HMMER", "--scale", "0.1",
+                     "--backend", "serial",
+                     "--workers", "127.0.0.1:1"]) == 1
+        assert "at most one" in capsys.readouterr().err
+
+    def test_backend_serial_runs_end_to_end(self, capsys):
+        assert main(["compare", "--benchmark", "HMMER", "--scale", "0.15",
+                     "--cores", "1", "--no-cache",
+                     "--backend", "serial"]) == 0
+        assert "HMMER" in capsys.readouterr().out
+
+    def test_bad_backend_spec_is_a_clean_exit(self, capsys):
+        assert main(["compare", "--benchmark", "HMMER",
+                     "--backend", "warp-drive"]) == 1
+        assert "cannot parse backend spec" in capsys.readouterr().err
+
+
+class TestClusterCli:
+    def test_cluster_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
+
+    def test_keygen_writes_keyfile(self, tmp_path, capsys):
+        path = tmp_path / "cluster.key"
+        assert main(["cluster", "keygen", str(path)]) == 0
+        assert "cluster key written" in capsys.readouterr().out
+        from repro.exec import FrameAuth
+        assert FrameAuth.from_keyfile(path) is not None
+
+    def test_status_against_live_dispatcher(self, capsys):
+        from repro.exec import ClusterServer
+        with ClusterServer() as server:
+            host, port = server.address
+            assert main(["cluster", "status", f"{host}:{port}"]) == 0
+            status = json.loads(capsys.readouterr().out)
+        assert status["queue_depth"] == 0
+        assert status["workers"] == []
+
+    def test_drain_and_shutdown_round_trip(self, capsys):
+        from repro.exec import ClusterServer
+        with ClusterServer() as server:
+            host, port = server.address
+            endpoint = f"{host}:{port}"
+            assert main(["cluster", "drain", endpoint]) == 0
+            assert "drained" in capsys.readouterr().out
+            assert main(["cluster", "shutdown", endpoint]) == 0
+            assert server.wait(timeout=30)
+
+    def test_status_unreachable_is_a_clean_exit(self, capsys):
+        assert main(["cluster", "status", "127.0.0.1:1"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,4 +1,4 @@
-"""SimClock, the ``at=``/``now_ns=`` shim, and CounterFetch results."""
+"""SimClock, the ``at=`` time contract, and CounterFetch results."""
 
 import pytest
 
@@ -37,9 +37,9 @@ class TestResolveTime:
         assert resolve_time(clock, 3.0, None) == 3.0
         assert resolve_time(None, None, None) == 0.0
 
-    def test_now_ns_keyword_warns_but_wins(self):
-        with pytest.warns(DeprecationWarning, match="now_ns"):
-            assert resolve_time(SimClock(now_ns=7.0), 3.0, 9.0) == 9.0
+    def test_now_ns_keyword_removed(self):
+        with pytest.raises(TypeError, match="now_ns= keyword was removed"):
+            resolve_time(SimClock(now_ns=7.0), 3.0, 9.0)
 
 
 def issue_times(controller):
@@ -70,13 +70,11 @@ class TestControllerTimeSources:
         controller.fetch_block(0, 100.0)
         assert times and all(100.0 <= t < 500.0 for t in times)
 
-    def test_now_ns_keyword_still_works_with_warning(self, tiny_config):
+    def test_now_ns_keyword_raises_with_migration_message(self, tiny_config):
         controller = SecureMemoryController(tiny_config)
-        times = issue_times(controller)
-        with pytest.warns(DeprecationWarning, match="now_ns"):
+        with pytest.raises(TypeError, match="now_ns= keyword was removed"):
             controller.fetch_block(0, now_ns=100.0)
-        assert times and all(t >= 100.0 for t in times)
-        with pytest.warns(DeprecationWarning, match="now_ns"):
+        with pytest.raises(TypeError, match="at"):
             controller.store_block(64, bytes(64), now_ns=200.0)
 
     def test_machine_shares_one_clock(self, tiny_config):
@@ -95,11 +93,10 @@ class TestCounterFetch:
         assert fetch.latency_ns > 0
         assert fetch.hit is False      # first touch misses
 
-    def test_legacy_tuple_unpacking_still_works(self, tiny_config):
+    def test_legacy_tuple_unpacking_removed(self, tiny_config):
         controller = SecureMemoryController(tiny_config)
         fetch = controller.get_counters(3)
-        counters, latency, hit = fetch
-        assert counters is fetch.counters
-        assert latency == fetch.latency_ns
-        assert hit is fetch.hit
-        assert controller.get_counters(3).hit is True   # now resident
+        with pytest.raises(TypeError, match="named "
+                                            "fields .counters"):
+            counters, latency, hit = fetch
+        assert controller.get_counters(3).hit is True   # still resident

@@ -81,14 +81,15 @@ class TestFlush:
         assert flushed[0].block.all_shredded()
         assert cache.peek(9).all_shredded()
 
-    def test_flush_sink_deprecated_but_invoked(self):
+    def test_flush_sink_removed(self):
         cache = make_cache()
         cache.fill(1, CounterBlock.fresh(4), dirty=True)
         seen = []
-        with pytest.warns(DeprecationWarning):
-            flushed = cache.flush(lambda page, block: seen.append(page))
-        assert seen == [1]
-        assert [e.page_id for e in flushed] == [1]
+        with pytest.raises(TypeError, match="flush\\(sink\\) was removed"):
+            cache.flush(lambda page, block: seen.append(page))
+        assert seen == []                       # sink never invoked
+        assert cache.dirty_entries() != []      # nothing flushed either
+        assert [e.page_id for e in cache.flush()] == [1]
 
 
 class TestBulkOps:

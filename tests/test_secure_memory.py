@@ -77,7 +77,7 @@ class TestCounterManagement:
         page = controller.page_of(0)
         controller.store_block(0, bytes(64))
         controller.store_block(0, bytes(64))
-        counters, _, _ = controller.get_counters(page)
+        counters = controller.get_counters(page).counters
         assert counters.minors[0] == 3        # fresh=1, +2 writes
 
     def test_counter_cache_hit_after_first_touch(self, controller):
@@ -97,7 +97,7 @@ class TestCounterManagement:
         controller.store_block(0, b"\x11" * 64)
         controller.flush_counters()
         controller.counter_cache.invalidate(0)
-        counters, _, _ = controller.get_counters(0)
+        counters = controller.get_counters(0).counters
         assert counters.minors[0] == 2
 
     def test_write_through_mode(self, tiny_config):
@@ -138,7 +138,7 @@ class TestReencryption:
         controller = SecureMemoryController(overflow_config)
         for i in range(8):
             controller.store_block(0, bytes(64))
-        counters, _, _ = controller.get_counters(0)
+        counters = controller.get_counters(0).counters
         assert counters.major == 1
         assert all(1 <= m <= 2 for m in counters.minors)
 
