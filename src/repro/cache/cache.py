@@ -4,16 +4,30 @@ The cache stores tags plus optional per-line payloads (the hierarchy
 keeps payloads only at the last level; the counter cache stores counter
 blocks). Evictions report the victim so the owner can write back dirty
 state; invalidation supports both clean drops (shredding) and flushing.
+
+Set state is array-backed: :attr:`SetAssociativeCache.way_tags` is a
+flat ``array('q')`` of block numbers indexed ``set * assoc + way``
+(``-1`` = empty way), kept in lockstep with the per-line objects, and
+the bound replacement policy keeps a parallel flat stamp array. The
+bulk hierarchy walk and the optional numpy kernels read these arrays
+directly (``numpy.frombuffer`` gives a zero-copy int64 view); the
+``_index`` dict stays as the O(1) scalar probe path.
 """
 
 from __future__ import annotations
 
+import sys
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import CacheConfig
 from ..errors import ConfigError
 from .replacement import ReplacementPolicy, make_replacement
+
+#: ``slots=True`` for the per-line hot allocations where the runtime
+#: supports it (3.10+); plain dataclasses on 3.9.
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 
 @dataclass
@@ -40,7 +54,7 @@ class CacheStats:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-@dataclass
+@dataclass(**_SLOTS)
 class CacheLine:
     """One resident line: tag plus dirty bit and optional payload."""
 
@@ -49,7 +63,7 @@ class CacheLine:
     payload: Any = None
 
 
-@dataclass
+@dataclass(**_SLOTS)
 class Eviction:
     """A victim pushed out by a fill."""
 
@@ -76,12 +90,20 @@ class SetAssociativeCache:
         if self.num_sets < 1:
             raise ConfigError(f"{config.name}: zero sets")
         self.policy = policy if policy is not None else make_replacement(config.replacement)
+        self.policy.bind(self.num_sets, self.associativity)
         self.latency_cycles = config.latency_cycles
         self.stats = CacheStats()
         # sets[set_index][way] -> CacheLine or None
         self._sets: List[List[Optional[CacheLine]]] = [
             [None] * self.associativity for _ in range(self.num_sets)
         ]
+        # Flat tag store: way_tags[set * assoc + way] = block number, -1
+        # when the way is empty. Mirrors _sets exactly.
+        self.way_tags = array("q", [-1]) * (self.num_sets * self.associativity)
+        # Lines resident per set; a full set (the steady state) skips
+        # the empty-way scan entirely on fill.
+        self._set_fill = array("i", bytes(4 * self.num_sets))
+        self._all_ways = list(range(self.associativity))
         # Fast lookup: block_number -> (set_index, way)
         self._index: Dict[int, Tuple[int, int]] = {}
 
@@ -128,9 +150,11 @@ class SetAssociativeCache:
 
         The batched access engine uses this for a run of back-to-back
         probes of one line: the stats advance exactly as ``count``
-        scalar lookups would, and recency is touched once — repeated
-        touches of the same line with nothing in between are idempotent
-        under every replacement policy, so the set ordering matches too.
+        scalar lookups would, and recency advances through
+        :meth:`~repro.cache.replacement.ReplacementPolicy.touch_many`,
+        which leaves the policy's stamps identical to ``count`` scalar
+        touches (repeated touches of one line with nothing in between
+        cannot reorder the other ways).
         """
         if count <= 0:
             return
@@ -139,7 +163,7 @@ class SetAssociativeCache:
             raise ConfigError(f"{self.name}: record_hits on a non-resident "
                               f"line {address:#x}")
         self.stats.hits += count
-        self.policy.touch(*location)
+        self.policy.touch_many(location[0], location[1], count)
 
     # -- fills and evictions ---------------------------------------------------
 
@@ -161,33 +185,94 @@ class SetAssociativeCache:
             self.policy.touch(set_index, way)
             return None
 
-        set_index = self._set_index(block)
+        set_index = block % self.num_sets
         ways = self._sets[set_index]
-        victim_way = None
-        for way, line in enumerate(ways):
-            if line is None:
-                victim_way = way
-                break
+        base = set_index * self.associativity
+        way_tags = self.way_tags
 
         eviction = None
-        if victim_way is None:
-            occupied = list(range(self.associativity))
-            victim_way = self.policy.victim(set_index, occupied)
+        if self._set_fill[set_index] == self.associativity:
+            # Steady state: set is full, go straight to the victim.
+            victim_way = self.policy.victim(set_index, self._all_ways)
             victim = ways[victim_way]
             assert victim is not None
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.dirty_evictions += 1
-            eviction = Eviction(address=self._address_of(victim.tag),
+            eviction = Eviction(address=victim.tag * self.block_size,
                                 dirty=victim.dirty, payload=victim.payload)
             del self._index[victim.tag]
             self.policy.forget(set_index, victim_way)
+            # Reuse the victim line object in place; peeked lines are
+            # consumed before the next fill, never held across one.
+            victim.tag = block
+            victim.dirty = dirty
+            victim.payload = payload
+        else:
+            victim_way = 0
+            for way in range(self.associativity):
+                if way_tags[base + way] < 0:
+                    victim_way = way
+                    break
+            ways[victim_way] = CacheLine(tag=block, dirty=dirty, payload=payload)
+            self._set_fill[set_index] += 1
 
-        ways[victim_way] = CacheLine(tag=block, dirty=dirty, payload=payload)
+        way_tags[base + victim_way] = block
         self._index[block] = (set_index, victim_way)
         self.policy.touch(set_index, victim_way)
         self.stats.fills += 1
         return eviction
+
+    def fill_tag(self, address: int) -> int:
+        """Install a clean tag-only line; returns the victim's block
+        address, or ``-1`` when nothing was evicted.
+
+        Equivalent to ``fill(address)`` — same stats, policy and set
+        state — minus the :class:`Eviction` materialisation. For the
+        tag-only upper levels (payloads live at L4 only, lines are
+        never dirty) the victim's address is all a caller can use.
+        """
+        block = address // self.block_size
+        existing = self._index.get(block)
+        if existing is not None:
+            set_index, way = existing
+            line = self._sets[set_index][way]
+            line.payload = None
+            self.policy.touch(set_index, way)
+            return -1
+
+        set_index = block % self.num_sets
+        ways = self._sets[set_index]
+        base = set_index * self.associativity
+        way_tags = self.way_tags
+
+        victim_address = -1
+        if self._set_fill[set_index] == self.associativity:
+            victim_way = self.policy.victim(set_index, self._all_ways)
+            victim = ways[victim_way]
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+            victim_address = victim.tag * self.block_size
+            del self._index[victim.tag]
+            self.policy.forget(set_index, victim_way)
+            victim.tag = block
+            victim.dirty = False
+            victim.payload = None
+        else:
+            victim_way = 0
+            for way in range(self.associativity):
+                if way_tags[base + way] < 0:
+                    victim_way = way
+                    break
+            ways[victim_way] = CacheLine(tag=block)
+            self._set_fill[set_index] += 1
+
+        way_tags[base + victim_way] = block
+        self._index[block] = (set_index, victim_way)
+        self.policy.touch(set_index, victim_way)
+        self.stats.fills += 1
+        return victim_address
 
     def mark_dirty(self, address: int) -> None:
         line = self.peek(address)
@@ -204,10 +289,30 @@ class SetAssociativeCache:
         line = self._sets[set_index][way]
         assert line is not None
         self._sets[set_index][way] = None
+        self.way_tags[set_index * self.associativity + way] = -1
+        self._set_fill[set_index] -= 1
         self.policy.forget(set_index, way)
         self.stats.invalidations += 1
         return Eviction(address=self._address_of(block), dirty=line.dirty,
                         payload=line.payload)
+
+    def drop(self, address: int) -> None:
+        """Invalidate without materialising the victim's state.
+
+        Identical stats and set state to :meth:`invalidate`; hot paths
+        that ignore the returned :class:`Eviction` (tag-only upper-level
+        back-invalidation) use this to skip the allocation.
+        """
+        block = address // self.block_size
+        location = self._index.pop(block, None)
+        if location is None:
+            return
+        set_index, way = location
+        self._sets[set_index][way] = None
+        self.way_tags[set_index * self.associativity + way] = -1
+        self._set_fill[set_index] -= 1
+        self.policy.forget(set_index, way)
+        self.stats.invalidations += 1
 
     def invalidate_range(self, start: int, length: int) -> List[Eviction]:
         """Invalidate every resident line overlapping [start, start+length)."""

@@ -14,10 +14,15 @@ directory serves three purposes in the reproduction:
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
 from ..errors import SimulationError
+
+#: ``slots=True`` for the hot per-block entries on 3.10+; plain
+#: dataclasses on 3.9.
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 
 class MESIState(enum.Enum):
@@ -27,7 +32,7 @@ class MESIState(enum.Enum):
     INVALID = "I"
 
 
-@dataclass
+@dataclass(**_SLOTS)
 class DirectoryEntry:
     """Who caches one block, and how."""
 

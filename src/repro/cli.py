@@ -434,29 +434,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               "file", file=sys.stderr)
         return 2
     tracer = None
+    metrics = None
     if args.emit_metrics:
-        from .obs import SpanTracer
+        from .obs import MetricsRegistry, SpanTracer
         tracer = SpanTracer()
+        metrics = MetricsRegistry()
     status = 0
     for name in names:
         try:
             result = run_scenario(name, warmup=args.warmup,
-                                  repeat=args.repeat, tracer=tracer)
+                                  repeat=args.repeat, tracer=tracer,
+                                  profile_dir=args.profile,
+                                  metrics=metrics)
         except ExperimentError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         path = write_result(result, directory=args.output_dir)
         timing = result["timing"]
-        speedup = timing.get("speedup_batch_over_scalar")
         summary = " ".join(
             f"{engine}={entry['best_s']:.4f}s"
             for engine, entry in timing.items() if isinstance(entry, dict))
-        extra = f" speedup={speedup:.2f}x" if speedup is not None else ""
+        extra = ""
+        for label, key in (("batch", "speedup_batch_over_scalar"),
+                           ("vector", "speedup_vector_over_scalar")):
+            speedup = timing.get(key)
+            if speedup is not None:
+                extra += f" {label}-speedup={speedup:.2f}x"
         ok = result["deterministic"]["reports_identical"]
         print(f"{name}: {summary}{extra} "
               f"reports_identical={ok} -> {path}")
+        profiles = result["meta"].get("profiles")
+        if profiles:
+            for engine, pstats_path in sorted(profiles.items()):
+                print(f"  profile[{engine}] -> {pstats_path}")
         if not ok:
-            print(f"error: {name}: scalar and batch reports diverge",
+            print(f"error: {name}: engine reports diverge",
                   file=sys.stderr)
             status = 1
         if args.compare:
@@ -475,9 +487,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"{name}: within {args.threshold:.0%} of baseline "
                       f"{args.compare}")
     if args.emit_metrics:
-        from .obs import MetricsRegistry, write_jsonl
+        from .obs import write_jsonl
         with open(args.emit_metrics, "w") as stream:
-            write_jsonl(MetricsRegistry().snapshot(), stream,
+            write_jsonl(metrics.snapshot(), stream,
                         spans=tracer.snapshot(),
                         meta={"command": "bench",
                               "scenarios": list(names)})
@@ -809,6 +821,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed fractional slowdown vs the baseline's "
                             "best time before --compare fails "
                             "(default: 0.5 = 50%%)")
+    bench.add_argument("--profile", default=None, metavar="DIR",
+                       help="also run each engine once under cProfile and "
+                            "dump <scenario>.<engine>.pstats files into "
+                            "DIR (profiled runs are separate from the "
+                            "timed repeats)")
     bench.set_defaults(func=_cmd_bench)
 
     stats = sub.add_parser(

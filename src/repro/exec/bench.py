@@ -1,24 +1,31 @@
 """``repro bench``: the toolchain's performance trajectory harness.
 
 Runs named scenarios — deterministic access streams driven through the
-scalar and batch engines over fresh systems — and records two strictly
-separated kinds of output per scenario:
+scalar, batch and vector engines over fresh systems — and records two
+strictly separated kinds of output per scenario:
 
 * **deterministic** facts: a canonical SHA-256 digest of the final
   :class:`~repro.sim.system.SystemReport` per engine (they must agree —
-  the scalar-vs-batch equivalence contract, re-checked on every bench
-  run), plus each engine's :class:`~repro.sim.batch.EngineResult`
-  totals. Identical on every host and every run.
+  the engine equivalence contract, re-checked on every bench run), plus
+  each engine's :class:`~repro.sim.batch.EngineResult` totals.
+  Identical on every host and every run — including hosts without
+  numpy, where the ``vector`` engine resolves to its pure-Python
+  kernel: the kernel backend never enters the deterministic section.
 * **wall-clock** measurements: per-repeat run times, best/mean, and the
-  batch-over-scalar speedup, under ``timing``; per-phase
-  :mod:`repro.obs` span records under ``spans``; host facts under
-  ``meta``. These vary run to run and are excluded from determinism
-  comparisons.
+  batch/vector-over-scalar speedups, under ``timing``; per-phase
+  :mod:`repro.obs` span records under ``spans``; host facts (including
+  which vector kernel actually ran) under ``meta``. These vary run to
+  run and are excluded from determinism comparisons.
 
 Results land in ``BENCH_<scenario>.json`` at the repo root.
 ``compare_results`` gates a fresh run against a committed baseline:
 any deterministic divergence fails outright; wall-clock regressions
 fail when an engine got more than ``threshold`` (fractional) slower.
+
+``run_scenario(..., profile_dir=...)`` additionally runs each engine
+once under :mod:`cProfile` and dumps per-engine ``.pstats`` files —
+the profiled run is separate from the measured repeats so profiler
+overhead never pollutes the recorded timings.
 
 Wall-clock reads live here — the exec layer — deliberately: the
 determinism pass (REPRO101) bans them from ``repro.sim`` and below.
@@ -26,6 +33,7 @@ determinism pass (REPRO101) bans them from ``repro.sim`` and below.
 
 from __future__ import annotations
 
+import cProfile
 import hashlib
 import json
 import platform
@@ -36,12 +44,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import SystemConfig, bench_config, fast_config
 from ..errors import ExperimentError
+from ..obs.registry import MetricsRegistry
 from ..obs.spans import SpanTracer
-from ..sim import AccessBatch, System
+from ..sim import AccessBatch, OP_READ, OP_SHRED, OP_WRITE, System
+from ..sim.kernels import resolve_kernel
 from ..workloads import SPEC_BENCHMARKS, spec_access_batch
 
 #: Bump when the BENCH_*.json layout changes incompatibly.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Keys of the result document that carry wall-clock (non-deterministic)
 #: data; everything else must be identical across runs and hosts.
@@ -50,12 +60,22 @@ WALL_CLOCK_KEYS = ("timing", "spans", "meta")
 
 @dataclass(frozen=True)
 class BenchScenario:
-    """One named benchmark: a stream, a config, and engines to race."""
+    """One named benchmark: a stream, a config, and engines to race.
+
+    ``num_cores`` switches the ``synthetic`` source onto the hierarchy
+    datapath (the batch gains a cores array); ``burst`` adds back-to-
+    back block reuse there. Two structured sources exercise the bulk
+    walk's extremes: ``llc-sweep`` shreds ``pages`` pages then reads
+    every block of them sequentially ``sweeps`` times (``burst``
+    repeats per block) — every block misses the LLC and zero-fills;
+    ``pingpong`` makes cores 0/1 alternate stores to the same lines
+    while cores 2/3 read them — the coherence slow path on every head.
+    """
 
     name: str
     description: str
     config: str = "bench"              # "bench" (timing-only) | "fast"
-    source: str = "synthetic"          # or a SPEC benchmark name
+    source: str = "synthetic"          # "llc-sweep" | "pingpong" | SPEC name
     accesses: int = 20000
     pages: int = 64
     read_fraction: float = 0.7
@@ -65,7 +85,10 @@ class BenchScenario:
     seed: int = 1234
     scale: float = 1.0                 # SPEC source scaling
     shredder: bool = True
-    engines: Tuple[str, ...] = ("scalar", "batch")
+    num_cores: Optional[int] = None    # hierarchy datapath when set
+    burst: int = 1                     # back-to-back reuse per block
+    sweeps: int = 2                    # passes for the structured sources
+    engines: Tuple[str, ...] = ("scalar", "batch", "vector")
 
     def make_config(self) -> SystemConfig:
         if self.config == "bench":
@@ -76,26 +99,55 @@ class BenchScenario:
                               f"{self.config!r}")
 
     def build_batch(self, config: SystemConfig) -> AccessBatch:
+        page_size = config.kernel.page_size
+        block_size = config.block_size
         if self.source == "synthetic":
             return AccessBatch.synthetic(
                 self.accesses, num_pages=self.pages,
-                page_size=config.kernel.page_size,
-                block_size=config.block_size,
+                page_size=page_size, block_size=block_size,
                 read_fraction=self.read_fraction,
                 shred_fraction=self.shred_fraction,
                 locality=self.locality, epoch_length=self.epoch_length,
-                seed=self.seed)
+                seed=self.seed, num_cores=self.num_cores, burst=self.burst)
+        if self.source == "llc-sweep":
+            trace = [(page * page_size, OP_SHRED)
+                     for page in range(self.pages)]
+            blocks = self.pages * (page_size // block_size)
+            for _ in range(self.sweeps):
+                for block in range(blocks):
+                    trace.extend([(block * block_size, OP_READ)] * self.burst)
+            return AccessBatch.from_trace(trace,
+                                          epoch_length=self.epoch_length,
+                                          cores=[0] * len(trace))
+        if self.source == "pingpong":
+            blocks_per_page = min(16, page_size // block_size)
+            trace: List[Tuple[int, int]] = []
+            cores: List[int] = []
+            for _ in range(self.sweeps):
+                for page in range(self.pages):
+                    for block in range(blocks_per_page):
+                        address = page * page_size + block * block_size
+                        for core in (0, 1):
+                            trace.append((address, OP_WRITE))
+                            cores.append(core)
+                        for core in (2, 3):
+                            trace.append((address, OP_READ))
+                            cores.append(core)
+            return AccessBatch.from_trace(trace,
+                                          epoch_length=self.epoch_length,
+                                          cores=cores)
         if self.source in SPEC_BENCHMARKS:
             spec = SPEC_BENCHMARKS[self.source]
             if self.scale != 1.0:
                 spec = spec.scaled(self.scale)
             return spec_access_batch(spec,
-                                     page_size=config.kernel.page_size,
-                                     block_size=config.block_size,
+                                     page_size=page_size,
+                                     block_size=block_size,
                                      epoch_length=self.epoch_length)
         raise ExperimentError(f"scenario {self.name}: source "
-                              f"{self.source!r} is neither 'synthetic' nor "
-                              "a SPEC benchmark name")
+                              f"{self.source!r} is not 'synthetic', "
+                              "'llc-sweep', 'pingpong' or a SPEC "
+                              "benchmark name")
 
     def params(self) -> Dict[str, Any]:
         return {k: v for k, v in self.__dict__.items()
@@ -112,9 +164,27 @@ SCENARIOS: Dict[str, BenchScenario] = {scenario.name: scenario for scenario in (
         accesses=20000, pages=64, read_fraction=0.7, locality=0.85),
     BenchScenario(
         name="counter-hot",
-        description="Page-local, counter-cache-bound stream: long "
-                    "same-page runs, the batch engine's best case.",
-        accesses=60000, pages=32, read_fraction=0.75, locality=0.97),
+        description="Hierarchy-through multicore stream with bursty "
+                    "block reuse over a private-cache-sized footprint: "
+                    "long L1-hit runs, the bulk walk's best case (the "
+                    "few LLC misses stay counter-cache hits).",
+        accesses=40000, pages=12, read_fraction=0.7, locality=0.95,
+        epoch_length=512, num_cores=4, burst=6),
+    BenchScenario(
+        name="llc-thrash",
+        description="Shred-then-sweep: sequential reads over 2x the L4 "
+                    "capacity, every block re-read within its line; all "
+                    "LLC misses zero-fill from shredded pages (Silent "
+                    "Shredder's free reads).",
+        source="llc-sweep", pages=256, burst=8, sweeps=2,
+        epoch_length=4096, num_cores=1, accesses=0),
+    BenchScenario(
+        name="coherence-pingpong",
+        description="Cores 0/1 alternate stores to the same lines while "
+                    "cores 2/3 read them: ownership bounces on every "
+                    "access, the bulk walk's coherence slow path.",
+        source="pingpong", pages=8, sweeps=40, epoch_length=2048,
+        num_cores=4, accesses=0),
     BenchScenario(
         name="counter-cold",
         description="Low-locality stream over 4x the counter-cache "
@@ -163,8 +233,19 @@ def _run_once(scenario: BenchScenario, engine: str,
 
 
 def run_scenario(name: str, *, warmup: int = 1, repeat: int = 3,
-                 tracer: Optional[SpanTracer] = None) -> Dict[str, Any]:
-    """Run one scenario and return its result document."""
+                 tracer: Optional[SpanTracer] = None,
+                 profile_dir: Optional[Path] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+    """Run one scenario and return its result document.
+
+    ``profile_dir`` dumps one extra cProfile'd run per engine to
+    ``<profile_dir>/<scenario>.<engine>.pstats`` (measured timings are
+    never taken under the profiler). ``metrics`` receives the
+    ``cache.bulk.*`` counters of the bulk hierarchy walk, published
+    once per scenario — batch and vector produce identical counters
+    under the equivalence contract, so the registry stays
+    engine-agnostic.
+    """
     scenario = SCENARIOS.get(name)
     if scenario is None:
         raise ExperimentError(f"unknown bench scenario {name!r}; choose "
@@ -181,6 +262,7 @@ def run_scenario(name: str, *, warmup: int = 1, repeat: int = 3,
         deterministic_engines: Dict[str, Any] = {}
         timing: Dict[str, Any] = {}
         digests: Dict[str, str] = {}
+        profiles: Dict[str, str] = {}
         for engine in scenario.engines:
             with tracer.span(f"warmup.{engine}", {"runs": warmup}):
                 for _ in range(warmup):
@@ -198,11 +280,51 @@ def run_scenario(name: str, *, warmup: int = 1, repeat: int = 3,
                 "best_s": min(runs),
                 "mean_s": sum(runs) / len(runs),
             }
+            if profile_dir is not None:
+                directory = Path(profile_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                stem = engine.replace(":", "-")
+                path = directory / f"{scenario.name}.{stem}.pstats"
+                profiler = cProfile.Profile()
+                with tracer.span(f"profile.{engine}"):
+                    profiler.enable()
+                    _run_once(scenario, engine, batch)
+                    profiler.disable()
+                profiler.dump_stats(str(path))
+                profiles[engine] = str(path)
 
     reports_identical = len(set(digests.values())) <= 1
     if "scalar" in timing and "batch" in timing:
         timing["speedup_batch_over_scalar"] = (
             timing["scalar"]["best_s"] / timing["batch"]["best_s"])
+    if "scalar" in timing and "vector" in timing:
+        timing["speedup_vector_over_scalar"] = (
+            timing["scalar"]["best_s"] / timing["vector"]["best_s"])
+
+    if metrics is not None:
+        bulk = next((entry.get("bulk") for entry in
+                     deterministic_engines.values() if entry.get("bulk")),
+                    None)
+        if bulk:
+            for key in sorted(bulk):
+                if bulk[key]:
+                    metrics.counter(f"cache.bulk.{key}", unit="ops").inc(
+                        bulk[key])
+
+    meta = {
+        "python": platform.python_version(),
+        "platform": platform.system(),
+        "warmup": warmup,
+        "repeat": repeat,
+        "generated_by": "repro bench",
+    }
+    if any(engine.startswith("vector") for engine in scenario.engines):
+        # Which backend "vector" resolved to on THIS host — wall-clock
+        # metadata only; the deterministic section must stay identical
+        # with and without numpy.
+        meta["vector_kernel"] = resolve_kernel("auto").name
+    if profiles:
+        meta["profiles"] = profiles
 
     return {
         "schema": SCHEMA_VERSION,
@@ -218,13 +340,7 @@ def run_scenario(name: str, *, warmup: int = 1, repeat: int = 3,
         },
         "timing": timing,
         "spans": tracer.snapshot(),
-        "meta": {
-            "python": platform.python_version(),
-            "platform": platform.system(),
-            "warmup": warmup,
-            "repeat": repeat,
-            "generated_by": "repro bench",
-        },
+        "meta": meta,
     }
 
 
@@ -270,8 +386,8 @@ def compare_results(current: Dict[str, Any], baseline: Dict[str, Any], *,
         failures.append("deterministic sections diverge in: "
                         + ", ".join(diverged))
     if not current.get("deterministic", {}).get("reports_identical", False):
-        failures.append("scalar and batch reports are not identical in the "
-                        "current run (equivalence contract broken)")
+        failures.append("engine reports are not identical in the current "
+                        "run (equivalence contract broken)")
     base_timing = baseline.get("timing", {})
     cur_timing = current.get("timing", {})
     for engine, base_entry in base_timing.items():

@@ -63,8 +63,10 @@ class Experiment:
     policy: Optional[str] = None
     seed: int = 0
     #: Access-stream engine driving the run: ``"scalar"`` (default, the
-    #: per-access API) or ``"batch"`` (the epoch-batched engine). Only
-    #: engine-aware workloads accept ``"batch"``.
+    #: per-access API), ``"batch"`` (the epoch-batched engine) or
+    #: ``"vector"`` / ``"vector:numpy"`` / ``"vector:py"`` (the batch
+    #: engine with a flat-array kernel backend). Only engine-aware
+    #: workloads accept non-scalar engines.
     engine: str = "scalar"
     name: str = field(default="", compare=False)
 
@@ -74,10 +76,8 @@ class Experiment:
             object.__setattr__(self, "config", bench_config())
         if self.policy is not None:
             make_policy(self.policy)    # validate the name eagerly
-        if self.engine not in ("scalar", "batch"):
-            raise ExperimentError(
-                f"unknown engine {self.engine!r} (expected 'scalar' or "
-                "'batch')")
+        from ..sim.batch import parse_engine_spec
+        parse_engine_spec(self.engine)  # raises ExperimentError if unknown
 
     # -- parameter access ---------------------------------------------------------
 

@@ -31,6 +31,25 @@ dyadic ``cycle_ns``), so bulk accounting (``k * latency``) is float-
 exact against ``k`` scalar additions. Controllers that override the
 datapath (DEUCE, direct encryption, i-NVMM) fall back to the scalar
 loop transparently.
+
+A batch with a ``cores`` array selects the **hierarchy datapath**: the
+stream is issued from the given cores through the full L1-L4 cache
+hierarchy (coherence, inclusion, writebacks) instead of straight at
+the controller. The scalar engine replays it through
+:meth:`~repro.cache.hierarchy.CacheHierarchy.access`; the batch and
+vector engines drive the bulk walk
+(:meth:`~repro.cache.hierarchy.CacheHierarchy.access_many`) one
+epoch-segment at a time, with :class:`HierarchyMissPort` sitting on
+the memory boundary to defer and coalesce the accounting of zero-fill
+(shredded) read runs exactly as the controller-mode engine does.
+Latency is accumulated in integer cycles and converted once, so the
+per-engine totals are float-identical by construction.
+
+:class:`VectorEngine` (``engine="vector"``, grammar
+``vector[:numpy|:py]``) layers :mod:`repro.sim.kernels` over the batch
+engine: the data-parallel sweeps (page ids, block alignment, run
+boundaries) run through a pluggable flat-array kernel — numpy when
+importable, a report-identical pure-Python fallback otherwise.
 """
 
 from __future__ import annotations
@@ -38,10 +57,11 @@ from __future__ import annotations
 import random
 from array import array
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.secure_memory import SecureMemoryController
-from ..errors import AddressError, SimulationError
+from ..errors import AddressError, ExperimentError, SimulationError
+from .kernels import KERNEL_SPECS, resolve_kernel
 
 #: Access opcodes carried in :attr:`AccessBatch.ops`.
 OP_READ = 0
@@ -55,7 +75,37 @@ OP_NAMES = {OP_READ: "read", OP_WRITE: "write", OP_SHRED: "shred"}
 DEFAULT_EPOCH_NS = 1024.0
 
 #: Engine kinds accepted by :func:`make_engine` and ``System(engine=...)``.
-ENGINE_KINDS = ("scalar", "batch")
+ENGINE_KINDS = ("scalar", "batch", "vector")
+
+
+def parse_engine_spec(spec: str) -> Tuple[str, str]:
+    """Split an engine spec into ``(kind, kernel)``.
+
+    Accepted grammar: ``"scalar"``, ``"batch"``, ``"vector"``,
+    ``"vector:numpy"``, ``"vector:py"`` (bare ``vector`` means
+    ``vector:auto``). Raises :class:`~repro.errors.ExperimentError`
+    naming the valid kinds for anything else.
+    """
+    if not isinstance(spec, str):
+        raise ExperimentError(f"engine spec must be a string, got "
+                              f"{type(spec).__name__}")
+    kind, sep, kernel = spec.partition(":")
+    if kind not in ENGINE_KINDS:
+        raise ExperimentError(
+            f"unknown access engine {spec!r} (expected one of "
+            f"{', '.join(ENGINE_KINDS)}; 'vector' also accepts a kernel "
+            "suffix: 'vector:numpy' or 'vector:py')")
+    if not sep:
+        return kind, "auto"
+    if kind != "vector":
+        raise ExperimentError(
+            f"engine {kind!r} does not take a kernel suffix (only "
+            "'vector:numpy' / 'vector:py')")
+    if kernel not in KERNEL_SPECS:
+        raise ExperimentError(
+            f"unknown vector kernel {kernel!r} in engine spec {spec!r} "
+            f"(expected one of {', '.join(KERNEL_SPECS)})")
+    return kind, kernel
 
 
 def pattern_block(address: int, block_size: int) -> bytes:
@@ -79,6 +129,11 @@ class AccessBatch:
     the arrays, ``None`` for non-writes); with ``patterned=True``
     functional stores instead derive a deterministic payload from the
     address via :func:`pattern_block`.
+
+    ``cores`` (optional, parallel) selects the hierarchy datapath: each
+    access issues from that core through the L1-L4 caches instead of
+    straight at the controller (engines then require an attached
+    hierarchy; see :func:`make_engine`).
     """
 
     addresses: array
@@ -86,6 +141,7 @@ class AccessBatch:
     epochs: array
     data: Optional[List[Optional[bytes]]] = None
     patterned: bool = True
+    cores: Optional[array] = None
 
     def __post_init__(self) -> None:
         self.addresses = array("q", self.addresses)
@@ -100,6 +156,16 @@ class AccessBatch:
             raise SimulationError(
                 f"AccessBatch data payloads ({len(self.data)}) do not "
                 f"match {n} accesses")
+        if self.cores is not None:
+            self.cores = array("q", self.cores)
+            if len(self.cores) != n:
+                raise SimulationError(
+                    f"AccessBatch cores ({len(self.cores)}) do not match "
+                    f"{n} accesses")
+            for i, core in enumerate(self.cores):
+                if core < 0:
+                    raise SimulationError(f"AccessBatch core at index {i} "
+                                          "is negative")
         previous = None
         for i in range(n):
             if self.ops[i] not in _VALID_OPS:
@@ -145,10 +211,11 @@ class AccessBatch:
 
     @classmethod
     def from_trace(cls, trace: Iterable[Tuple[int, int]], *,
-                   epoch_length: int = 256,
-                   patterned: bool = True) -> "AccessBatch":
+                   epoch_length: int = 256, patterned: bool = True,
+                   cores: Optional[Sequence[int]] = None) -> "AccessBatch":
         """Build a batch from ``(address, op)`` pairs, assigning epochs
-        every ``epoch_length`` accesses."""
+        every ``epoch_length`` accesses. ``cores`` (parallel to the
+        trace) selects the hierarchy datapath."""
         if epoch_length <= 0:
             raise SimulationError("epoch_length must be positive")
         addresses = array("q")
@@ -158,14 +225,18 @@ class AccessBatch:
             addresses.append(address)
             ops.append(op)
             epochs.append(i // epoch_length)
-        return cls(addresses, ops, epochs, patterned=patterned)
+        core_array = array("q", cores) if cores is not None else None
+        return cls(addresses, ops, epochs, patterned=patterned,
+                   cores=core_array)
 
     @classmethod
     def synthetic(cls, num_accesses: int, *, num_pages: int,
                   page_size: int = 4096, block_size: int = 64,
                   read_fraction: float = 0.7, shred_fraction: float = 0.0,
                   locality: float = 0.85, epoch_length: int = 256,
-                  seed: int = 1234, patterned: bool = True) -> "AccessBatch":
+                  seed: int = 1234, patterned: bool = True,
+                  num_cores: Optional[int] = None,
+                  burst: int = 1) -> "AccessBatch":
         """Deterministic synthetic stream with tunable page locality.
 
         ``locality`` is the probability the next access stays on the
@@ -173,25 +244,51 @@ class AccessBatch:
         batch engine exploits; low locality with ``num_pages`` above
         the counter-cache capacity produces a counter-cold stream).
         ``shred_fraction`` injects page shreds (requires a shredder
-        controller to execute).
+        controller to execute). ``num_cores`` adds a cores array (the
+        hierarchy datapath) with per-page-run core affinity, drawn from
+        an independent seeded stream so the address/op sequence is
+        unchanged from the controller-mode batch. ``burst`` repeats
+        each generated data access back-to-back (temporal reuse of one
+        block, the runs the bulk hierarchy walk collapses); the random
+        draws per generated access are unchanged, so ``burst=1``
+        reproduces the historical stream exactly.
         """
         if num_pages <= 0:
             raise SimulationError("synthetic batch needs at least one page")
+        if burst < 1:
+            raise SimulationError("synthetic batch burst must be >= 1")
         rng = random.Random(seed)
         blocks_per_page = page_size // block_size
         trace: List[Tuple[int, int]] = []
+        jumps: List[bool] = []
         page = 0
-        for _ in range(num_accesses):
-            if rng.random() >= locality:
+        while len(trace) < num_accesses:
+            jumped = rng.random() >= locality
+            if jumped:
                 page = rng.randrange(num_pages)
             if shred_fraction > 0.0 and rng.random() < shred_fraction:
                 trace.append((page * page_size, OP_SHRED))
+                jumps.append(jumped)
                 continue
             address = page * page_size + rng.randrange(blocks_per_page) * block_size
             op = OP_READ if rng.random() < read_fraction else OP_WRITE
-            trace.append((address, op))
+            for repeat in range(min(burst, num_accesses - len(trace))):
+                trace.append((address, op))
+                jumps.append(jumped if repeat == 0 else False)
+        cores: Optional[List[int]] = None
+        if num_cores is not None:
+            if num_cores <= 0:
+                raise SimulationError("synthetic batch needs at least "
+                                      "one core")
+            core_rng = random.Random(seed ^ 0x5EED)
+            core = 0
+            cores = []
+            for jumped in jumps:
+                if jumped:
+                    core = core_rng.randrange(num_cores)
+                cores.append(core)
         return cls.from_trace(trace, epoch_length=epoch_length,
-                              patterned=patterned)
+                              patterned=patterned, cores=cores)
 
 
 @dataclass
@@ -213,6 +310,11 @@ class EngineResult:
     #: True when the batch engine fell back to the scalar loop because
     #: the controller overrides the baseline datapath.
     fallback: bool = False
+    #: Bulk-walk counters for hierarchy-mode batch/vector runs
+    #: (``runs``/``collapsed``/``fast_hits``/``slow_path``/
+    #: ``zero_elided``); ``None`` otherwise. These feed the
+    #: ``cache.bulk.*`` bench metrics.
+    bulk: Optional[dict] = None
     #: Read outputs in stream order (``collect_data=True`` only).
     data: Optional[List[Optional[bytes]]] = None
 
@@ -221,19 +323,113 @@ class EngineResult:
         return out
 
 
+class HierarchyMissPort:
+    """The memory boundary of the bulk hierarchy walk.
+
+    Sits between :meth:`CacheHierarchy.access_many` and the secure
+    controller. Normal LLC misses and writebacks pass straight through
+    to ``fetch_block``/``store_block``; what the port adds is the same
+    probe elision the controller-mode batch engine performs: once a
+    real fetch has made a page's counter line resident, subsequent
+    zero-fill (shredded) fetches of *that page* are served inline —
+    counter-hit latency, zero block — and their accounting is deferred
+    and coalesced into one bulk update.
+
+    The deferral window closes (``flush``) before **any** real
+    controller entry — a fetch of another page, a non-zero fetch, a
+    writeback, a shred — because any of those may evict the counter
+    line whose residence the deferred ``record_hits`` requires. Within
+    a window no controller state is read or written, so the flushed
+    totals land exactly where the scalar walk would have put them.
+    """
+
+    def __init__(self, controller: SecureMemoryController) -> None:
+        self.ctl = controller
+        self._cc = controller.counter_cache
+        self._page_size = controller.page_size
+        self._offset_of = controller.offset_of
+        self._zero = controller.zero_semantics
+        self._hit_latency = controller._counter_latency_ns
+        self._zero_data = (controller._zero_block if controller.functional
+                           else None)
+        self._page = -1        # page whose counter line is known resident
+        self._pending = 0      # deferred zero-fill fetches on that page
+        self.zero_elided = 0   # total controller probes elided (metric)
+
+    def fetch(self, address: int, now_ns: float) -> Tuple[float, bool,
+                                                          Optional[bytes]]:
+        """Serve one LLC miss; returns ``(latency_ns, zero_filled,
+        data)`` exactly as ``fetch_block`` would."""
+        ctl = self.ctl
+        page = address // self._page_size
+        if page == self._page and self._zero:
+            ctl._check_data_address(address)
+            counters = self._cc.peek(page)
+            if counters is not None and counters.is_shredded(
+                    self._offset_of(address)):
+                self._pending += 1
+                self.zero_elided += 1
+                return self._hit_latency, True, self._zero_data
+        self.flush()
+        access = ctl.fetch_block(address, now_ns)
+        self._page = page
+        return access.latency_ns, access.zero_filled, access.data
+
+    def writeback(self, address: int, payload: Optional[bytes],
+                  now_ns: float) -> None:
+        """Route a dirty L4 victim to the controller (closing the
+        deferral window first — the store may evict the counter line)."""
+        self.flush()
+        self._page = -1
+        self.ctl.store_block(address, payload, now_ns)
+
+    def flush(self) -> None:
+        """Publish the deferred zero-fill run's accounting in bulk."""
+        count = self._pending
+        if not count:
+            return
+        self._pending = 0
+        ctl = self.ctl
+        stats = ctl.stats
+        latency = self._hit_latency
+        stats.counter_hits += count
+        self._cc.record_hits(self._page, count)
+        stats.zero_fill_reads += count
+        stats.read_requests += count
+        stats.total_read_latency_ns += count * latency
+        hist = ctl._read_latency_hist
+        if hist is not None:
+            hist.observe_many(latency, count)
+
+    def close(self) -> None:
+        """Flush and invalidate the window (before shreds / at end)."""
+        self.flush()
+        self._page = -1
+
+
 class AccessEngine:
-    """Common machinery for the scalar and batch engines."""
+    """Common machinery for the scalar, batch and vector engines."""
 
     kind = "scalar"
 
     def __init__(self, controller: SecureMemoryController, *,
-                 metrics=None) -> None:
+                 hierarchy=None, shred_register=None, metrics=None) -> None:
         self.controller = controller
+        self.hierarchy = hierarchy
+        self.shred_register = shred_register
         self.metrics = metrics
 
     def run(self, batch: AccessBatch, *, epoch_ns: float = DEFAULT_EPOCH_NS,
             collect_data: bool = False) -> EngineResult:
         raise NotImplementedError
+
+    def _require_hierarchy(self):
+        if self.hierarchy is None:
+            raise SimulationError(
+                "batch carries a cores array (hierarchy datapath) but the "
+                "engine has no attached cache hierarchy; build it through "
+                "System.access_engine() or pass hierarchy= to make_engine")
+        return self.hierarchy
 
     def _shred(self, address: int, now: float):
         ctl = self.controller
@@ -243,6 +439,19 @@ class AccessEngine:
                 f"{type(ctl).__name__} has no shred datapath; remove "
                 "OP_SHRED accesses or use a shredder controller")
         return shred(address // ctl.page_size, now)
+
+    def _shred_hierarchy(self, address: int, now: float):
+        """OP_SHRED on the hierarchy datapath: the full MMIO register
+        path (cache invalidation + counter update + MMIO latency).
+        Both engines share this helper, so equivalence is structural."""
+        register = self.shred_register
+        if register is None:
+            raise SimulationError(
+                "hierarchy batch contains OP_SHRED but no shred register "
+                "is attached; use a shredder system or drop the shreds")
+        page_size = self.controller.page_size
+        return register.write(address - address % page_size,
+                              kernel_mode=True, now_ns=now)
 
     def _publish(self, result: EngineResult) -> None:
         """Bulk-publish the run's totals into the metrics registry.
@@ -276,6 +485,9 @@ class ScalarEngine(AccessEngine):
 
     def run(self, batch: AccessBatch, *, epoch_ns: float = DEFAULT_EPOCH_NS,
             collect_data: bool = False) -> EngineResult:
+        if batch.cores is not None:
+            return self._run_hierarchy(batch, epoch_ns=epoch_ns,
+                                       collect_data=collect_data)
         ctl = self.controller
         base = ctl.clock.now_ns
         functional = ctl.functional
@@ -308,11 +520,66 @@ class ScalarEngine(AccessEngine):
         result.data = outputs
         return self._finish(batch, result, base, epoch_ns)
 
+    def _run_hierarchy(self, batch: AccessBatch, *, epoch_ns: float,
+                       collect_data: bool) -> EngineResult:
+        """Hierarchy datapath, one ``CacheHierarchy.access`` per access.
+
+        Latency is accumulated in integer cycles and converted once
+        (``cycle_ns`` is dyadic, so the product is exact), with shred
+        latencies summed separately in stream order — the bulk engines
+        mirror this accumulation structure so the float totals are
+        identical, not merely close.
+        """
+        hierarchy = self._require_hierarchy()
+        ctl = self.controller
+        base = ctl.clock.now_ns
+        cycle_ns = ctl.config.cpu.cycle_ns
+        functional = ctl.functional
+        block_size = ctl.block_size
+        result = EngineResult()
+        outputs: Optional[List[Optional[bytes]]] = [] if collect_data else None
+        cores, addresses = batch.cores, batch.addresses
+        ops, epochs = batch.ops, batch.epochs
+        reencrypt_base = ctl.stats.reencryptions
+        total_cycles = 0
+        shred_ns = 0.0
+        for i in range(len(batch)):
+            now = base + epochs[i] * epoch_ns
+            op = ops[i]
+            if op == OP_SHRED:
+                outcome = self._shred_hierarchy(addresses[i], now)
+                result.shreds += 1
+                shred_ns += outcome.latency_ns
+                continue
+            is_write = op == OP_WRITE
+            data = (batch.payload(i, block_size)
+                    if is_write and functional else None)
+            access = hierarchy.access(cores[i], addresses[i], is_write,
+                                      data=data, now_ns=now)
+            total_cycles += access.latency_cycles
+            if access.hit_level == "ZERO":
+                result.zero_fill_reads += 1
+            if is_write:
+                result.writes += 1
+            else:
+                result.reads += 1
+                if outputs is not None:
+                    outputs.append(access.data)
+        result.reencryptions = ctl.stats.reencryptions - reencrypt_base
+        result.total_latency_ns = total_cycles * cycle_ns + shred_ns
+        result.data = outputs
+        return self._finish(batch, result, base, epoch_ns)
+
 
 class BatchEngine(AccessEngine):
     """Vectorised engine: probe-eliding, pad-grouping epoch processing."""
 
     kind = "batch"
+
+    #: Kernel driving the data-parallel sweeps; ``None`` uses inline
+    #: loops (the vector engine plugs a :mod:`repro.sim.kernels` object
+    #: in here).
+    kernel = None
 
     def run(self, batch: AccessBatch, *, epoch_ns: float = DEFAULT_EPOCH_NS,
             collect_data: bool = False) -> EngineResult:
@@ -323,10 +590,15 @@ class BatchEngine(AccessEngine):
             # Overridden datapath (DEUCE / direct / i-NVMM): the inline
             # fast path below would bypass the subclass semantics, so
             # replay access-equivalently through the scalar loop.
-            result = ScalarEngine(ctl, metrics=self.metrics).run(
+            result = ScalarEngine(ctl, hierarchy=self.hierarchy,
+                                  shred_register=self.shred_register,
+                                  metrics=self.metrics).run(
                 batch, epoch_ns=epoch_ns, collect_data=collect_data)
             result.fallback = True
             return result
+        if batch.cores is not None:
+            return self._run_hierarchy_bulk(batch, epoch_ns=epoch_ns,
+                                            collect_data=collect_data)
 
         base = ctl.clock.now_ns
         result = EngineResult()
@@ -337,7 +609,82 @@ class BatchEngine(AccessEngine):
         result.data = outputs
         return self._finish(batch, result, base, epoch_ns)
 
+    # -- the hierarchy datapath -------------------------------------------
+
+    def _run_hierarchy_bulk(self, batch: AccessBatch, *, epoch_ns: float,
+                            collect_data: bool) -> EngineResult:
+        """Hierarchy datapath through the bulk walk, one epoch-segment
+        per ``access_many`` call, shreds standing alone between them."""
+        hierarchy = self._require_hierarchy()
+        ctl = self.controller
+        base = ctl.clock.now_ns
+        cycle_ns = ctl.config.cpu.cycle_ns
+        functional = ctl.functional
+        block_size = ctl.block_size
+        result = EngineResult()
+        bulk_totals = {"runs": 0, "collapsed": 0, "fast_hits": 0,
+                       "slow_path": 0, "zero_elided": 0}
+        outputs: Optional[List[Optional[bytes]]] = [] if collect_data else None
+        port = HierarchyMissPort(ctl)
+        reencrypt_base = ctl.stats.reencryptions
+        total_cycles = 0
+        shred_ns = 0.0
+        cores, addresses, ops = batch.cores, batch.addresses, batch.ops
+        payload = batch.payload
+        kernel = self.kernel
+        for epoch, start, stop in batch.epoch_slices():
+            now = base + epoch * epoch_ns
+            i = start
+            while i < stop:
+                if ops[i] == OP_SHRED:
+                    # The register path enters the controller: close the
+                    # port's deferral window first.
+                    port.close()
+                    outcome = self._shred_hierarchy(addresses[i], now)
+                    result.shreds += 1
+                    shred_ns += outcome.latency_ns
+                    i += 1
+                    continue
+                j = i + 1
+                while j < stop and ops[j] != OP_SHRED:
+                    j += 1
+                payloads = None
+                if functional:
+                    payloads = [payload(k, block_size)
+                                if ops[k] == OP_WRITE else None
+                                for k in range(i, j)]
+                bulk = hierarchy.access_many(
+                    cores[i:j], addresses[i:j], ops[i:j], now,
+                    payloads=payloads, collect_data=collect_data,
+                    kernel=kernel, port=port)
+                total_cycles += bulk.latency_cycles
+                result.reads += bulk.reads
+                result.writes += bulk.writes
+                result.zero_fill_reads += bulk.zero_fills
+                result.segments += bulk.runs
+                result.bulk_hits += bulk.collapsed
+                bulk_totals["runs"] += bulk.runs
+                bulk_totals["collapsed"] += bulk.collapsed
+                bulk_totals["fast_hits"] += bulk.fast_hits
+                bulk_totals["slow_path"] += bulk.slow_path
+                if outputs is not None and bulk.data:
+                    outputs.extend(bulk.data)
+                i = j
+        port.close()
+        bulk_totals["zero_elided"] = port.zero_elided
+        result.bulk = bulk_totals
+        result.reencryptions = ctl.stats.reencryptions - reencrypt_base
+        result.total_latency_ns = total_cycles * cycle_ns + shred_ns
+        result.data = outputs
+        return self._finish(batch, result, base, epoch_ns)
+
     # -- epoch passes -----------------------------------------------------
+
+    def _page_ids(self, addresses: array, start: int, stop: int,
+                  page_size: int) -> List[int]:
+        """Page ids for one epoch slice (the vector engine overrides
+        this with a kernel sweep)."""
+        return [addresses[i] // page_size for i in range(start, stop)]
 
     def _run_epoch(self, batch: AccessBatch, start: int, stop: int,
                    now: float, result: EngineResult,
@@ -346,7 +693,7 @@ class BatchEngine(AccessEngine):
         addresses, ops = batch.addresses, batch.ops
         page_size = ctl.page_size
         # Pass 1: page ids for the whole epoch.
-        pages = [addresses[i] // page_size for i in range(start, stop)]
+        pages = self._page_ids(addresses, start, stop, page_size)
         # Pass 2: segment into same-page runs; shreds stand alone.
         i = start
         while i < stop:
@@ -512,12 +859,50 @@ class BatchEngine(AccessEngine):
         result.bulk_hits += inline
 
 
+class VectorEngine(BatchEngine):
+    """Batch engine with the data-parallel sweeps behind a kernel seam.
+
+    Identical control flow to :class:`BatchEngine`; the page-id pass
+    and the bulk walk's alignment/run-boundary sweeps run through a
+    :mod:`repro.sim.kernels` kernel — numpy when importable, the
+    pure-Python fallback otherwise. Kernel choice cannot leak into any
+    simulated result (both kernels return identical lists), so reports
+    stay byte-identical across backends.
+    """
+
+    kind = "vector"
+
+    def __init__(self, controller: SecureMemoryController, *,
+                 hierarchy=None, shred_register=None, metrics=None,
+                 kernel=None) -> None:
+        super().__init__(controller, hierarchy=hierarchy,
+                         shred_register=shred_register, metrics=metrics)
+        self.kernel = kernel if kernel is not None else resolve_kernel("auto")
+
+    def _page_ids(self, addresses: array, start: int, stop: int,
+                  page_size: int) -> List[int]:
+        return self.kernel.page_ids(addresses[start:stop], page_size)
+
+
 def make_engine(kind: str, controller: SecureMemoryController, *,
+                hierarchy=None, shred_register=None,
                 metrics=None) -> AccessEngine:
-    """Build an access-stream engine of the given kind over a controller."""
-    if kind == "scalar":
-        return ScalarEngine(controller, metrics=metrics)
-    if kind == "batch":
-        return BatchEngine(controller, metrics=metrics)
-    raise SimulationError(f"unknown access engine {kind!r} "
-                          f"(expected one of {ENGINE_KINDS})")
+    """Build an access-stream engine from an engine spec.
+
+    ``kind`` follows the :func:`parse_engine_spec` grammar:
+    ``"scalar"``, ``"batch"``, ``"vector"``, ``"vector:numpy"``,
+    ``"vector:py"``. ``hierarchy``/``shred_register`` attach the cache
+    datapath (required to run batches that carry a cores array).
+    Unknown specs raise :class:`~repro.errors.ExperimentError` naming
+    the valid kinds.
+    """
+    base_kind, kernel_spec = parse_engine_spec(kind)
+    if base_kind == "scalar":
+        return ScalarEngine(controller, hierarchy=hierarchy,
+                            shred_register=shred_register, metrics=metrics)
+    if base_kind == "batch":
+        return BatchEngine(controller, hierarchy=hierarchy,
+                           shred_register=shred_register, metrics=metrics)
+    return VectorEngine(controller, hierarchy=hierarchy,
+                        shred_register=shred_register, metrics=metrics,
+                        kernel=resolve_kernel(kernel_spec))

@@ -100,9 +100,8 @@ class System:
                  engine: str = "scalar") -> None:
         self.config = config if config is not None else default_config()
         self.name = name
-        if engine not in ("scalar", "batch"):
-            raise SimulationError(f"unknown access engine {engine!r} "
-                                  "(expected 'scalar' or 'batch')")
+        from .batch import parse_engine_spec
+        parse_engine_spec(engine)      # raises ExperimentError if unknown
         self.engine = engine
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.machine = Machine(self.config, shredder=shredder, policy=policy,
@@ -124,10 +123,13 @@ class System:
 
     def access_engine(self, kind: Optional[str] = None):
         """Build the configured access-stream engine over this system's
-        controller (see :mod:`repro.sim.batch`)."""
+        controller and cache hierarchy (see :mod:`repro.sim.batch`)."""
         from .batch import make_engine
         return make_engine(kind if kind is not None else self.engine,
-                           self.machine.controller, metrics=self.metrics)
+                           self.machine.controller,
+                           hierarchy=self.machine.hierarchy,
+                           shred_register=self.machine.shred_register,
+                           metrics=self.metrics)
 
     # -- task plumbing -----------------------------------------------------------
 

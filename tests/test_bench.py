@@ -2,14 +2,17 @@
 
 import copy
 import json
+import pstats
 
 import pytest
 
 from repro.cli import main
 from repro.errors import ExperimentError
-from repro.exec.bench import (SCENARIOS, WALL_CLOCK_KEYS, compare_results,
-                              deterministic_view, load_result, run_scenario,
-                              scenario_names, write_result)
+from repro.obs.registry import MetricsRegistry
+from repro.exec.bench import (SCENARIOS, WALL_CLOCK_KEYS, BenchScenario,
+                              compare_results, deterministic_view,
+                              load_result, run_scenario, scenario_names,
+                              write_result)
 
 
 @pytest.fixture(scope="module")
@@ -24,9 +27,12 @@ class TestCatalog:
         assert {"smoke", "counter-hot", "counter-cold"} <= set(names)
         assert len(names) >= 3
 
-    def test_every_scenario_races_both_engines(self):
+    def test_every_scenario_races_all_three_engines(self):
         for scenario in SCENARIOS.values():
-            assert scenario.engines == ("scalar", "batch")
+            assert scenario.engines == ("scalar", "batch", "vector")
+
+    def test_new_scenarios_present(self):
+        assert {"llc-thrash", "coherence-pingpong"} <= set(scenario_names())
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ExperimentError, match="unknown bench scenario"):
@@ -40,22 +46,31 @@ class TestCatalog:
 class TestResultDocument:
     def test_document_shape(self, smoke_result):
         doc = smoke_result
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
         assert doc["scenario"] == "smoke"
-        assert doc["engines"] == ["scalar", "batch"]
+        assert doc["engines"] == ["scalar", "batch", "vector"]
         det = doc["deterministic"]
         assert det["reports_identical"] is True
-        assert set(det["report_digests"]) == {"scalar", "batch"}
+        assert set(det["report_digests"]) == {"scalar", "batch", "vector"}
         assert det["engines"]["scalar"]["accesses"] == \
-            det["engines"]["batch"]["accesses"] > 0
+            det["engines"]["batch"]["accesses"] == \
+            det["engines"]["vector"]["accesses"] > 0
         assert doc["timing"]["speedup_batch_over_scalar"] > 0
+        assert doc["timing"]["speedup_vector_over_scalar"] > 0
         for key in WALL_CLOCK_KEYS:
             assert key in doc
+
+    def test_kernel_backend_stays_out_of_deterministic(self, smoke_result):
+        # CI runners without numpy must reproduce baselines generated
+        # with it: the chosen kernel is wall-clock metadata only.
+        assert "vector_kernel" in smoke_result["meta"]
+        view = deterministic_view(smoke_result)
+        assert "vector_kernel" not in json.dumps(view)
 
     def test_spans_cover_phases(self, smoke_result):
         names = {span["name"] for span in smoke_result["spans"]}
         assert {"bench.smoke", "build-batch", "measure.scalar",
-                "measure.batch"} <= names
+                "measure.batch", "measure.vector"} <= names
 
     def test_deterministic_view_drops_wall_clock(self, smoke_result):
         view = deterministic_view(smoke_result)
@@ -100,7 +115,7 @@ class TestCompare:
 
     def test_timing_regression_fails(self, smoke_result):
         baseline = copy.deepcopy(smoke_result)
-        for engine in ("scalar", "batch"):
+        for engine in ("scalar", "batch", "vector"):
             baseline["timing"][engine]["best_s"] /= 100.0
         failures = compare_results(smoke_result, baseline, threshold=0.5)
         assert any("regressed" in f for f in failures)
@@ -110,6 +125,44 @@ class TestCompare:
         del current["timing"]["batch"]
         failures = compare_results(current, smoke_result)
         assert any("missing from current" in f for f in failures)
+
+
+class TestProfileAndMetrics:
+    def test_profile_dir_gets_per_engine_pstats(self, tmp_path):
+        profile_dir = tmp_path / "prof"
+        doc = run_scenario("smoke", warmup=0, repeat=1,
+                           profile_dir=profile_dir)
+        names = sorted(p.name for p in profile_dir.glob("*.pstats"))
+        assert names == ["smoke.batch.pstats", "smoke.scalar.pstats",
+                         "smoke.vector.pstats"]
+        assert sorted(doc["meta"]["profiles"]) == \
+            ["batch", "scalar", "vector"]
+        # The dumps are loadable pstats databases.
+        stats = pstats.Stats(str(profile_dir / "smoke.vector.pstats"))
+        assert stats.total_calls > 0
+
+    def test_bulk_metrics_published(self, monkeypatch):
+        # A small hierarchy-datapath scenario (the bulk counters only
+        # exist when the batch carries a cores array).
+        tiny = BenchScenario(
+            name="tiny-bulk", description="test-only", accesses=2000,
+            pages=4, locality=0.95, epoch_length=128, num_cores=2,
+            burst=4)
+        monkeypatch.setitem(SCENARIOS, "tiny-bulk", tiny)
+        metrics = MetricsRegistry()
+        run_scenario("tiny-bulk", warmup=0, repeat=1, metrics=metrics)
+        snapshot = metrics.snapshot()
+        bulk = {name for name in snapshot
+                if name.startswith("cache.bulk.")}
+        assert {"cache.bulk.runs", "cache.bulk.fast_hits"} <= bulk
+        for name in bulk:
+            assert snapshot[name]["value"] > 0
+
+    def test_no_bulk_metrics_without_hierarchy(self):
+        metrics = MetricsRegistry()
+        run_scenario("smoke", warmup=0, repeat=1, metrics=metrics)
+        assert not any(name.startswith("cache.bulk.")
+                       for name in metrics.snapshot())
 
 
 class TestCli:

@@ -128,8 +128,17 @@ class TestEngineField:
         assert gcc().engine == "scalar"
 
     def test_unknown_engine_rejected(self):
-        with pytest.raises(ExperimentError, match="unknown engine"):
+        with pytest.raises(ExperimentError, match="unknown access engine"):
             Experiment("spec", engine="vliw")
+
+    def test_rejection_lists_valid_kinds(self):
+        with pytest.raises(ExperimentError,
+                           match="scalar, batch, vector"):
+            Experiment("spec", engine="vliw")
+
+    def test_vector_engine_specs_accepted(self):
+        for spec in ("vector", "vector:numpy", "vector:py"):
+            assert Experiment("spec", engine=spec).engine == spec
 
     def test_scalar_engine_keeps_pre_engine_hashes(self):
         # engine="scalar" must hash identically to a spec that predates

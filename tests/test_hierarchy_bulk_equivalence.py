@@ -1,0 +1,274 @@
+"""``access_many`` vs a loop of scalar ``access()``: the bulk contract.
+
+The bulk hierarchy walk must be equivalent access by access and stat by
+stat to replaying the same stream through ``CacheHierarchy.access`` —
+latencies, hit levels, writebacks, functional payloads, every cache's
+stats *and* set state (tags, recency stamps), the coherence directory,
+and the memory-side traffic. These tests drive random streams through
+two fresh hierarchies over recorded memories and compare everything,
+including runs interleaved with ``invalidate_page`` (the shred step-2
+datapath), and prove the pure-Python kernel is report-identical when
+numpy is taken away.
+"""
+
+from typing import List, Optional
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.kernels as kernels
+from repro.cache import CacheHierarchy, MemoryFetch
+from repro.errors import ExperimentError
+from repro.sim import AccessBatch, System
+from repro.sim.kernels import PyKernel, resolve_kernel
+
+BLOCK = 64
+PAGE = 4096
+BLOCKS_PER_PAGE = PAGE // BLOCK
+
+
+class RecordingMemory:
+    """Deterministic memory below the hierarchy, recording all traffic."""
+
+    def __init__(self, functional: bool):
+        self.functional = functional
+        self.fetches: List[int] = []
+        self.writebacks: List[tuple] = []
+        self.zero_pages = set()
+
+    def miss_handler(self, address: int, now_ns: float) -> MemoryFetch:
+        self.fetches.append(address)
+        if address // PAGE in self.zero_pages:
+            return MemoryFetch(data=bytes(BLOCK), latency_ns=5.0,
+                               zero_filled=True)
+        payload = ((address % 251).to_bytes(2, "little") * (BLOCK // 2)
+                   if self.functional else None)
+        return MemoryFetch(data=payload, latency_ns=100.0)
+
+    def writeback_handler(self, address: int, data, now_ns: float) -> None:
+        self.writebacks.append((address, data))
+
+
+def state_signature(hierarchy: CacheHierarchy) -> list:
+    """Everything observable about the hierarchy's state and stats."""
+    out = []
+    for cache in [*hierarchy.l1, *hierarchy.l2, hierarchy.l3, hierarchy.l4]:
+        out.append((cache.stats.hits, cache.stats.misses,
+                    cache.stats.evictions, cache.stats.dirty_evictions,
+                    cache.stats.invalidations, cache.stats.fills,
+                    tuple(cache.way_tags),
+                    tuple(cache.policy.stamps or [])))
+    out.append((hierarchy.zero_fills, hierarchy.memory_fetches,
+                hierarchy.writebacks))
+    out.append(tuple(sorted(
+        (address, entry.owner, entry.state.name, tuple(sorted(entry.sharers)))
+        for address, entry in hierarchy.directory._entries.items())))
+    return out
+
+
+def build_pair(tiny_config_factory, functional: bool):
+    """Two identical fresh (hierarchy, memory) pairs."""
+    pairs = []
+    for _ in range(2):
+        config = tiny_config_factory()
+        if config.functional != functional:
+            from dataclasses import replace
+            config = replace(config, functional=functional)
+        memory = RecordingMemory(functional)
+        pairs.append((CacheHierarchy(config, memory.miss_handler,
+                                     memory.writeback_handler), memory))
+    return pairs
+
+
+def stream_from(raw, functional: bool):
+    """Expand hypothesis tuples into parallel cores/addresses/ops arrays."""
+    cores, addresses, ops, payloads = [], [], [], []
+    for core, page, block, is_write, repeat in raw:
+        address = page * PAGE + block * BLOCK
+        for _ in range(repeat):
+            cores.append(core)
+            addresses.append(address)
+            ops.append(is_write)
+            payloads.append(bytes([core + 1]) * BLOCK
+                            if (is_write and functional) else None)
+    return cores, addresses, ops, payloads
+
+
+def assert_bulk_equivalent(pairs, cores, addresses, ops, payloads,
+                           functional, kernel):
+    (scalar_h, scalar_mem), (bulk_h, bulk_mem) = pairs
+    scalar_details = []
+    for i in range(len(addresses)):
+        access = scalar_h.access(cores[i], addresses[i], ops[i],
+                                 data=payloads[i], now_ns=1.0)
+        scalar_details.append((access.latency_cycles, access.hit_level,
+                               access.data, access.writebacks))
+    bulk = bulk_h.access_many(cores, addresses, ops, 1.0,
+                              payloads=payloads, collect_data=functional,
+                              details=True, kernel=kernel)
+    bulk_details = [(d.latency_cycles, d.hit_level, d.data, d.writebacks)
+                    for d in bulk.details]
+    assert bulk_details == scalar_details
+    assert bulk.latency_cycles == sum(d[0] for d in scalar_details)
+    assert bulk.accesses == len(addresses)
+    assert state_signature(bulk_h) == state_signature(scalar_h)
+    assert bulk_mem.fetches == scalar_mem.fetches
+    assert bulk_mem.writebacks == scalar_mem.writebacks
+    return bulk
+
+
+ACCESS_TUPLES = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1),     # core
+              st.integers(min_value=0, max_value=7),     # page
+              st.integers(min_value=0, max_value=15),    # block in page
+              st.booleans(),                             # is_write
+              st.integers(min_value=1, max_value=4)),    # back-to-back reps
+    min_size=1, max_size=80)
+
+
+def available_kernels():
+    specs = ["py"]
+    if kernels.numpy_available():
+        specs.append("numpy")
+    return specs
+
+
+@pytest.mark.parametrize("kernel_spec", available_kernels())
+class TestAccessManyEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(raw=ACCESS_TUPLES, functional=st.booleans())
+    def test_any_stream_matches_scalar_loop(self, tiny_config_factory,
+                                            kernel_spec, raw, functional):
+        pairs = build_pair(tiny_config_factory, functional)
+        cores, addresses, ops, payloads = stream_from(raw, functional)
+        assert_bulk_equivalent(pairs, cores, addresses, ops, payloads,
+                               functional, resolve_kernel(kernel_spec))
+
+    @settings(max_examples=20, deadline=None)
+    @given(raw=ACCESS_TUPLES,
+           invalidated=st.lists(st.integers(min_value=0, max_value=7),
+                                min_size=1, max_size=4),
+           split=st.integers(min_value=0, max_value=79))
+    def test_invalidate_page_interleavings(self, tiny_config_factory,
+                                           kernel_spec, raw, invalidated,
+                                           split):
+        """Bulk calls interleaved with page invalidations (shred step 2)
+        must leave both machines in the same state as the scalar loop
+        with the same invalidations at the same stream position."""
+        pairs = build_pair(tiny_config_factory, False)
+        (scalar_h, scalar_mem), (bulk_h, bulk_mem) = pairs
+        cores, addresses, ops, payloads = stream_from(raw, False)
+        split = min(split, len(addresses))
+        kernel = resolve_kernel(kernel_spec)
+
+        chunks = [(0, split), (split, len(addresses))]
+        for start, stop in chunks:
+            for i in range(start, stop):
+                scalar_h.access(cores[i], addresses[i], ops[i], now_ns=1.0)
+            if stop > start:
+                bulk_h.access_many(cores[start:stop], addresses[start:stop],
+                                   ops[start:stop], 1.0, kernel=kernel)
+            for page in invalidated:
+                one = scalar_h.invalidate_page(page * PAGE, PAGE,
+                                               writeback=False, now_ns=1.0)
+                two = bulk_h.invalidate_page(page * PAGE, PAGE,
+                                             writeback=False, now_ns=1.0)
+                assert (one.blocks_invalidated, one.blocks_written_back,
+                        one.private_invalidations) == \
+                    (two.blocks_invalidated, two.blocks_written_back,
+                     two.private_invalidations)
+        assert state_signature(bulk_h) == state_signature(scalar_h)
+        assert bulk_mem.fetches == scalar_mem.fetches
+        assert bulk_mem.writebacks == scalar_mem.writebacks
+
+    def test_zero_filled_pages_match(self, tiny_config_factory, kernel_spec):
+        """Reads of shredded (zero) pages produce ZERO hits identically."""
+        pairs = build_pair(tiny_config_factory, True)
+        for _, memory in pairs:
+            memory.zero_pages.update({0, 2})
+        cores, addresses, ops, payloads = stream_from(
+            [(0, page, block, False, 2)
+             for page in range(4) for block in range(8)], True)
+        bulk = assert_bulk_equivalent(pairs, cores, addresses, ops,
+                                      payloads, True,
+                                      resolve_kernel(kernel_spec))
+        levels = {d.hit_level for d in bulk.details}
+        assert "ZERO" in levels and bulk.zero_fills > 0
+
+    def test_bulk_counters_cover_the_stream(self, tiny_config_factory,
+                                            kernel_spec):
+        pairs = build_pair(tiny_config_factory, False)
+        raw = [(0, 0, b % 8, False, 5) for b in range(16)]
+        cores, addresses, ops, payloads = stream_from(raw, False)
+        bulk = assert_bulk_equivalent(pairs, cores, addresses, ops,
+                                      payloads, False,
+                                      resolve_kernel(kernel_spec))
+        assert bulk.runs + bulk.collapsed <= bulk.accesses
+        assert bulk.collapsed > 0           # rep-5 runs collapse
+        assert bulk.fast_hits + bulk.slow_path == bulk.runs
+
+
+class TestKernelSweeps:
+    """The two kernel backends are element-for-element interchangeable."""
+
+    addresses = st.lists(st.integers(min_value=0, max_value=2**40),
+                         min_size=0, max_size=200)
+
+    @settings(max_examples=50, deadline=None)
+    @given(addresses=addresses)
+    def test_align_and_page_ids_agree(self, addresses):
+        if not kernels.numpy_available():
+            pytest.skip("numpy not importable")
+        py, np_kernel = PyKernel(), kernels.NumpyKernel()
+        assert py.align_blocks(addresses, 64) == \
+            np_kernel.align_blocks(addresses, 64)
+        assert py.page_ids(addresses, 4096) == \
+            np_kernel.page_ids(addresses, 4096)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 5),
+                              st.booleans()),
+                    min_size=0, max_size=120))
+    def test_run_bounds_agree(self, triples):
+        if not kernels.numpy_available():
+            pytest.skip("numpy not importable")
+        cores = [t[0] for t in triples]
+        addresses = [t[1] * 64 for t in triples]
+        ws = [t[2] for t in triples]
+        py = PyKernel().run_bounds(cores, addresses, ws)
+        np_bounds = kernels.NumpyKernel().run_bounds(cores, addresses, ws)
+        assert py == np_bounds
+        assert py[0] == 0 and py[-1] == len(triples)
+
+
+class TestNumpyAbsent:
+    """The stdlib fallback: same reports, clean failure modes."""
+
+    def test_auto_resolves_to_py_kernel(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_np", None)
+        assert not kernels.numpy_available()
+        assert isinstance(kernels.resolve_kernel("auto"), PyKernel)
+
+    def test_numpy_spec_fails_loudly(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_np", None)
+        with pytest.raises(ExperimentError, match="numpy is not"):
+            kernels.resolve_kernel("numpy")
+
+    def test_vector_engine_report_identical_without_numpy(
+            self, tiny_config, monkeypatch):
+        batch = AccessBatch.synthetic(
+            1200, num_pages=8, page_size=PAGE, block_size=BLOCK,
+            read_fraction=0.6, locality=0.9, shred_fraction=0.01,
+            epoch_length=64, seed=21, num_cores=2, burst=3)
+
+        with_numpy = System(tiny_config, engine="vector", name="vec")
+        with_numpy.access_engine().run(batch)
+        reference = with_numpy.report().to_dict()
+
+        monkeypatch.setattr(kernels, "_np", None)
+        without = System(tiny_config, engine="vector", name="vec")
+        engine = without.access_engine()
+        assert engine.kernel.name == "py"   # the fallback actually ran
+        without.access_engine().run(batch)
+        assert without.report().to_dict() == reference

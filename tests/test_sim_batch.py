@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import DeuceShredderController
-from repro.errors import SimulationError
+from repro.errors import ExperimentError, SimulationError
 from repro.sim import (AccessBatch, BatchEngine, ScalarEngine, System,
                        make_engine)
 from repro.sim.batch import (OP_READ, OP_SHRED, OP_WRITE, EngineResult,
@@ -183,13 +183,32 @@ class TestFallback:
 
 class TestEngineSelection:
     def test_unknown_engine_rejected_by_system(self, tiny_config):
-        with pytest.raises(SimulationError, match="unknown"):
+        with pytest.raises(ExperimentError,
+                           match="scalar, batch, vector"):
             System(tiny_config, engine="vliw")
 
     def test_unknown_engine_rejected_by_factory(self, tiny_config):
         system = System(tiny_config)
-        with pytest.raises(SimulationError, match="unknown access engine"):
+        with pytest.raises(ExperimentError, match="unknown access engine"):
             make_engine("vliw", system.machine.controller)
+
+    def test_unknown_error_names_every_valid_kind(self, tiny_config):
+        system = System(tiny_config)
+        with pytest.raises(ExperimentError) as excinfo:
+            make_engine("simd", system.machine.controller)
+        message = str(excinfo.value)
+        for kind in ("scalar", "batch", "vector"):
+            assert kind in message
+
+    def test_kernel_suffix_only_on_vector(self, tiny_config):
+        system = System(tiny_config)
+        with pytest.raises(ExperimentError, match="kernel suffix"):
+            make_engine("batch:numpy", system.machine.controller)
+
+    def test_unknown_kernel_suffix_rejected(self, tiny_config):
+        system = System(tiny_config)
+        with pytest.raises(ExperimentError, match="unknown vector kernel"):
+            make_engine("vector:fortran", system.machine.controller)
 
     def test_system_default_is_scalar(self, tiny_config):
         system = System(tiny_config)
