@@ -35,6 +35,7 @@ DEFAULT_PREFIXES = (
     "cache.counter", "cache.l1", "cache.l2", "cache.l3", "cache.l4",
     "cache.hierarchy", "core.shredder", "kernel", "cpu",
     "exec.batch", "exec.task", "exec.cache", "exec.dist", "exec.worker",
+    "exec.cluster", "obs.events",
 )
 
 _BACKTICK_RE = re.compile(r"`([^`]+)`")

@@ -18,6 +18,14 @@ Commands
 ``cluster serve`` / ``status`` / ``drain`` / ``shutdown`` / ``keygen``
     Run and administer the long-lived multi-tenant experiment cluster
     (``repro.exec.cluster``); see ``docs/SERVICE.md``.
+``top``
+    Live cluster introspection: poll a dispatcher's status endpoint
+    and refresh per-client queue depth, throughput, worker health, and
+    cache hit rate in-terminal.
+``events``
+    Run one workload and print its flight-recorder event log (shreds,
+    zero-fill elisions, counter overflows, ...) as canonical
+    JSON-lines, optionally filtered with ``--match``.
 ``cache sweep``
     Apply LRU size/age bounds to the persistent result cache.
 ``stats``
@@ -357,6 +365,136 @@ def _cmd_cluster_keygen(args: argparse.Namespace) -> int:
     FrameAuth.generate_keyfile(args.path)
     print(f"cluster key written to {args.path} (mode 0600); distribute it "
           f"to every dispatcher, worker, and client")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Live cluster introspection (repro top) and the flight recorder (repro
+# events)
+# ---------------------------------------------------------------------------
+
+def _render_top(status: dict, previous: dict, elapsed: float) -> str:
+    """One ``repro top`` frame from a dispatcher status document.
+
+    ``previous`` maps client names to their ``completed`` count at the
+    last poll; with ``elapsed`` seconds between polls that yields a
+    per-client completion throughput.
+    """
+    lines = []
+    cache = status.get("cache") or {}
+    hits = int(cache.get("hits", 0))
+    misses = int(cache.get("misses", 0))
+    lookups = hits + misses
+    hit_rate = f"{hits / lookups:.1%}" if lookups else "n/a"
+    state = "draining" if status.get("draining") else "serving"
+    lines.append(
+        f"cluster {state} — queue {status.get('queue_depth', 0)}, "
+        f"inflight {status.get('inflight', 0)}, "
+        f"completed {status.get('tasks_completed', 0)}, "
+        f"cache hit rate {hit_rate}")
+    workers = status.get("workers") or []
+    lines.append(f"workers ({len(workers)}):")
+    for worker in workers:
+        flags = []
+        if worker.get("busy"):
+            flags.append("busy")
+        if worker.get("draining"):
+            flags.append("draining")
+        idle = worker.get("idle_s")
+        health = f"idle {idle:.1f}s" if isinstance(idle, (int, float)) \
+            else "?"
+        lines.append(f"  {worker.get('name', '?'):24s} "
+                     f"completed={worker.get('completed', 0):<6d} "
+                     f"{health:12s} {' '.join(flags) or 'idle'}")
+    clients = status.get("clients") or []
+    lines.append(f"clients ({len(clients)}):")
+    for client in clients:
+        name = str(client.get("name", "?"))
+        completed = int(client.get("completed", 0))
+        delta = completed - int(previous.get(name, completed))
+        rate = f"{delta / elapsed:6.1f}/s" if elapsed > 0 else "      -"
+        lines.append(f"  {name:24s} weight={client.get('weight', 1):<3d} "
+                     f"queued={client.get('queued', 0):<6d} "
+                     f"done={completed:<6d} {rate}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .exec.cluster import cluster_status
+    auth = _cluster_auth(args)
+    previous: dict = {}
+    last_poll = None
+    shown = 0
+    clear = sys.stdout.isatty()
+    while True:
+        status = cluster_status(args.address, auth=auth)
+        now = time.monotonic()
+        elapsed = (now - last_poll) if last_poll is not None else 0.0
+        frame = _render_top(status, previous, elapsed)
+        if clear:
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(frame, flush=True)
+        previous = {str(c.get("name", "?")): int(c.get("completed", 0))
+                    for c in status.get("clients") or []}
+        last_poll = now
+        shown += 1
+        if args.iterations is not None and shown >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:   # pragma: no cover - interactive only
+            return 0
+
+
+def _events_experiment(args: argparse.Namespace, name: str):
+    """The experiment one ``repro events`` invocation runs.
+
+    The scalar engine can drive the full workloads; a non-scalar engine
+    (and the ``STREAM`` pseudo-benchmark) replays the workload as a
+    flat access stream through the engine-aware ``access-stream``
+    workload, which is the apples-to-apples surface for comparing event
+    logs across engines.
+    """
+    from .exec import Experiment
+    if name == "STREAM" or (args.engine != "scalar"
+                            and name in SPEC_BENCHMARKS):
+        params = {"epoch_length": 256}
+        if name == "STREAM":
+            params.update(source="synthetic", accesses=args.accesses,
+                          shred_fraction=args.shred_fraction)
+        else:
+            params.update(source=name, scale=args.scale)
+        return Experiment(workload="access-stream", params=params,
+                          engine=args.engine,
+                          name=f"events-{name.lower()}")
+    if args.engine != "scalar":
+        print(f"benchmark {args.benchmark!r} drives the per-access API and "
+              f"cannot run under --engine {args.engine}; use a SPEC name "
+              f"or STREAM", file=sys.stderr)
+        return None
+    if name in SPEC_BENCHMARKS:
+        return spec_experiment(name, cores=args.cores, scale=args.scale)
+    if name in POWERGRAPH_NAMES:
+        return powergraph_experiment(name, num_nodes=args.nodes)
+    print(f"unknown benchmark {args.benchmark!r}; try list-benchmarks",
+          file=sys.stderr)
+    return None
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from .obs import write_events_jsonl
+    experiment = _events_experiment(args, args.benchmark.upper())
+    if experiment is None:
+        return 2
+    experiment = experiment.baseline_variant() if args.baseline \
+        else experiment.shredder_variant()
+    with _runner_context(args) as runner:
+        report = runner.run([experiment])[0]
+    count = write_events_jsonl(report.events, sys.stdout, match=args.match)
+    print(f"({count} of {len(report.events)} recorded events shown)",
+          file=sys.stderr)
     return 0
 
 
@@ -751,6 +889,48 @@ def build_parser() -> argparse.ArgumentParser:
         "keygen", help="generate a fresh shared cluster keyfile (0600)")
     ckeygen.add_argument("path", help="where to write the keyfile")
     ckeygen.set_defaults(func=_cmd_cluster_keygen)
+
+    top = sub.add_parser(
+        "top", parents=[keyfile_flag],
+        help="live cluster view: poll a dispatcher's status endpoint and "
+             "refresh queue depth, throughput, worker health, and cache "
+             "hit rate in-terminal")
+    top.add_argument("address", metavar="HOST:PORT",
+                     help="the cluster dispatcher endpoint")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="seconds between polls (default: 2)")
+    top.add_argument("--iterations", type=_positive_int, default=None,
+                     metavar="N",
+                     help="exit after N refreshes (default: run until ^C)")
+    top.set_defaults(func=_cmd_top)
+
+    events = sub.add_parser(
+        "events", parents=[runner_flags],
+        help="run one workload and print its flight-recorder event log "
+             "(shreds, zero-fill elisions, counter overflows, IV "
+             "regenerations) as canonical JSON-lines")
+    events.add_argument("--benchmark", default="GCC",
+                        help="SPEC/PowerGraph name, or STREAM for a "
+                             "synthetic shred-heavy access stream")
+    events.add_argument("--scale", type=float, default=0.5)
+    events.add_argument("--cores", type=int, default=2)
+    events.add_argument("--accesses", type=_positive_int, default=20000,
+                        help="stream length for --benchmark STREAM")
+    events.add_argument("--shred-fraction", type=float, default=0.05,
+                        help="shred density for --benchmark STREAM")
+    events.add_argument("--nodes", type=int, default=1500,
+                        help="graph size for PowerGraph workloads")
+    events.add_argument("--engine", default="scalar",
+                        help="access-stream engine: scalar | batch | "
+                             "vector (the log is identical across them)")
+    events.add_argument("--baseline", action="store_true",
+                        help="run the baseline (non-shredder) system "
+                             "instead of Silent Shredder")
+    events.add_argument("--match", default=None, metavar="SUBSTR",
+                        help="only print events whose canonical JSON line "
+                             "contains SUBSTR")
+    events.set_defaults(func=_cmd_events)
 
     cache = sub.add_parser("cache", help="persistent result cache upkeep")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

@@ -36,7 +36,7 @@ from .iv import CounterBlock, IVLayout, MINOR_SHREDDED
 if TYPE_CHECKING:
     # Type-only: the controller takes an injected registry and must not
     # import the telemetry layer at runtime (layering rule REPRO202).
-    from ..obs import MetricsRegistry
+    from ..obs import EventRecorder, MetricsRegistry
 
 #: Cycles charged for a Merkle path verification / update on a counter
 #: block fetched from (written to) NVM. Matches the "about 2% overhead"
@@ -110,9 +110,13 @@ class SecureMemoryController:
     def __init__(self, config: SystemConfig, *,
                  device: Optional[NVMDevice] = None,
                  metrics: Optional[MetricsRegistry] = None,
+                 events: Optional[EventRecorder] = None,
                  clock: Optional[SimClock] = None) -> None:
         self.config = config
         self.metrics = metrics
+        # The flight recorder (injected like the registry, same layering
+        # rule): security-relevant transitions land here in sim order.
+        self.events = events
         self.clock = clock if clock is not None else SimClock()
         self.block_size = config.block_size
         self.page_size = config.kernel.page_size
@@ -281,6 +285,8 @@ class SecureMemoryController:
             # Figure 7, step 3b: the minor counter is zero, so no NVM
             # access happens; a zero-filled block goes straight up.
             latency = counter_latency
+            if self.events is not None:
+                self.events.emit("zero_fill", page_id, now)
             self.stats.zero_fill_reads += 1
             self.stats.read_requests += 1
             self.stats.total_read_latency_ns += latency
@@ -325,7 +331,16 @@ class SecureMemoryController:
             fetch.counters, fetch.latency_ns, fetch.hit
 
         reencrypted = False
+        if self.events is not None and self.zero_semantics \
+                and counters.is_shredded(offset):
+            # First write into a shredded block: it stops reading as
+            # zero from here on (the bump below takes the minor 0 -> 1).
+            self.events.emit("shredded_writeback", page_id, now,
+                             block=offset)
         if counters.bump_minor(offset):
+            if self.events is not None:
+                self.events.emit("minor_overflow", page_id, now,
+                                 block=offset)
             latency = self._reencrypt_page(page_id, counters,
                                            {offset: data}, now)
             self.stats.reencryptions += 1
@@ -360,6 +375,8 @@ class SecureMemoryController:
         rarer. ``replacements`` carries the plaintext of the block whose
         write-back triggered the overflow.
         """
+        if self.events is not None:
+            self.events.emit("iv_regen", page_id, now_ns)
         plaintexts: Dict[int, Optional[bytes]] = {}
         last_finish = now_ns
         for offset in range(self.blocks_per_page):

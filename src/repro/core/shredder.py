@@ -47,8 +47,9 @@ class SilentShredderController(SecureMemoryController):
     def __init__(self, config: SystemConfig, *,
                  policy: Optional[ShredPolicy] = None,
                  device: Optional[NVMDevice] = None,
-                 metrics=None, clock=None) -> None:
-        super().__init__(config, device=device, metrics=metrics, clock=clock)
+                 metrics=None, events=None, clock=None) -> None:
+        super().__init__(config, device=device, metrics=metrics,
+                         events=events, clock=clock)
         self.policy = policy if policy is not None else MajorResetMinorsPolicy()
         # Zero-fill reads only exist under the reserved-zero policy.
         self.zero_semantics = self.policy.reads_return_zero
@@ -68,7 +69,11 @@ class SilentShredderController(SecureMemoryController):
         effect = self.policy.apply(counters)
         update_latency = self._counters_updated(page_id, counters, now_ns)
         self.stats.shreds += 1
+        if self.events is not None:
+            self.events.emit("shred", page_id, now_ns)
         if effect.reencrypted:
+            if self.events is not None:
+                self.events.emit("iv_regen", page_id, now_ns)
             self.stats.reencryptions += 1
         return ShredOutcome(page_id=page_id,
                             latency_ns=counter_latency + update_latency,

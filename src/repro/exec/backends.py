@@ -49,7 +49,7 @@ from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple, Union)
 
 from ..errors import BackendError, WireProtocolError
-from ..obs import DEFAULT_DURATION_BUCKETS_NS, MetricsRegistry
+from ..obs import DEFAULT_DURATION_BUCKETS_NS, MetricsRegistry, default_tracer
 from ..sim.system import SystemReport
 from .experiment import Experiment
 from .spec import BackendSpec
@@ -209,7 +209,7 @@ class _WorkerState:
     """Health bookkeeping for one remote worker endpoint."""
 
     __slots__ = ("address", "consecutive_failures", "alive", "completed",
-                 "last_metrics")
+                 "last_metrics", "spans")
 
     def __init__(self, address: Tuple[str, int]) -> None:
         self.address = address
@@ -221,6 +221,9 @@ class _WorkerState:
         # the worker's running totals; merging every frame would
         # multiply-count them.
         self.last_metrics: Optional[Dict[str, Any]] = None
+        # Span records shipped on result frames. Unlike metrics these
+        # are per-task (not cumulative), so they accumulate.
+        self.spans: List[Dict[str, Any]] = []
 
 
 class _WorkerDown(Exception):
@@ -321,12 +324,16 @@ class DistributedBackend(ExecutionBackend):
             label = experiment.name or experiment.workload
             tasks.put(_Task(index, experiment.to_dict(), label))
 
+        # One trace context for the whole batch, captured on the
+        # caller's thread so the runner's open exec.batch span becomes
+        # the remote tasks' parent.
+        trace = default_tracer().context().to_dict()
         results: "queue.Queue[Tuple[str, Any, Any]]" = queue.Queue()
         stop = threading.Event()
         states = [_WorkerState(address) for address in self.addresses]
         threads = [
             threading.Thread(target=self._drive_worker, name=f"repro-dispatch-{i}",
-                             args=(state, tasks, results, stop, notify),
+                             args=(state, tasks, results, stop, notify, trace),
                              daemon=True)
             for i, state in enumerate(states)
         ]
@@ -364,11 +371,14 @@ class DistributedBackend(ExecutionBackend):
             for state in states:
                 if state.last_metrics:
                     self.metrics.merge_snapshot(state.last_metrics)
+                if state.spans:
+                    default_tracer().ingest(state.spans)
 
     def _drive_worker(self, state: _WorkerState, tasks: "queue.Queue[_Task]",
                       results: "queue.Queue[Tuple[str, Any, Any]]",
                       stop: threading.Event,
-                      notify: Optional[NotifyFn]) -> None:
+                      notify: Optional[NotifyFn],
+                      trace: Optional[Dict[str, Any]] = None) -> None:
         while not stop.is_set():
             try:
                 task = tasks.get(timeout=0.05)
@@ -376,7 +386,7 @@ class DistributedBackend(ExecutionBackend):
                 continue
             started = time.perf_counter_ns()
             try:
-                document = self._dispatch(state, task.payload)
+                document = self._dispatch(state, task.payload, trace=trace)
             except _WorkerDown as error:
                 # The endpoint's fault: requeue for the survivors,
                 # charge the worker's health, not the task.
@@ -418,7 +428,8 @@ class DistributedBackend(ExecutionBackend):
                    self.backoff_base * (2 ** max(attempts - 1, 0)))
 
     def _dispatch(self, state: _WorkerState,
-                  payload: Dict[str, Any]) -> Dict[str, Any]:
+                  payload: Dict[str, Any], *,
+                  trace: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """Run one task on one worker; raise a classified failure."""
         address = state.address
         try:
@@ -429,7 +440,7 @@ class DistributedBackend(ExecutionBackend):
         try:
             sock.settimeout(self.task_timeout)
             try:
-                send_message(sock, run_request(payload))
+                send_message(sock, run_request(payload, trace=trace))
                 reply = recv_message(sock)
             except socket.timeout:
                 raise _TaskFailed(
@@ -444,6 +455,8 @@ class DistributedBackend(ExecutionBackend):
         if reply.get("type") == MSG_RESULT and "result" in reply:
             if isinstance(reply.get("metrics"), dict):
                 state.last_metrics = reply["metrics"]
+            if isinstance(reply.get("spans"), list):
+                state.spans.extend(reply["spans"])
             return reply["result"]
         if reply.get("type") == MSG_ERROR:
             raise _TaskFailed(

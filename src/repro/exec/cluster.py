@@ -50,12 +50,14 @@ import contextlib
 import os
 import socket
 import threading
+import time
 from typing import (Any, Deque, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
 from ..errors import (BackendError, ClusterError, WireAuthError,
                       WireProtocolError)
-from ..obs import DEFAULT_DURATION_BUCKETS_NS, MetricsRegistry
+from ..obs import (DEFAULT_DURATION_BUCKETS_NS, MetricsRegistry, SpanTracer,
+                   default_tracer, merge_span_records)
 from ..sim.system import SystemReport
 from .backends import Address, ExecutionBackend, NotifyFn, parse_address
 from .cache import ResultCache
@@ -177,24 +179,29 @@ class _ClusterTask:
     """
 
     __slots__ = ("key", "experiment", "payload", "label", "attempts",
-                 "targets")
+                 "targets", "trace")
 
     def __init__(self, key: str, experiment: Experiment,
                  payload: Dict[str, Any], label: str,
-                 targets: List[Tuple[int, str, int]]) -> None:
+                 targets: List[Tuple[int, str, int]],
+                 trace: Optional[Dict[str, Any]] = None) -> None:
         self.key = key
         self.experiment = experiment
         self.payload = payload
         self.label = label
         self.attempts = 0
         self.targets = targets
+        #: TraceContext document of the first submitter, propagated to
+        #: the executing worker and stamped on the dispatcher's span.
+        self.trace = trace
 
 
 class _WorkerSession:
     """Dispatcher-side state of one registered worker connection."""
 
     __slots__ = ("id", "name", "writer", "task", "task_id", "started",
-                 "deadline", "last_seen", "completed", "draining", "closing")
+                 "started_ns", "deadline", "last_seen", "completed",
+                 "draining", "closing")
 
     def __init__(self, session_id: int, name: str,
                  writer: asyncio.StreamWriter, now: float) -> None:
@@ -204,6 +211,7 @@ class _WorkerSession:
         self.task: Optional[_ClusterTask] = None
         self.task_id = -1
         self.started = now
+        self.started_ns = 0       # perf_counter_ns at assignment (spans)
         self.deadline = 0.0
         self.last_seen = now
         self.completed = 0
@@ -293,6 +301,10 @@ class ClusterDispatcher:
         self.tick = float(tick)
         self.ssl = ssl
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Dispatcher-side span records (task lifetimes, cache hits);
+        #: each record is also shipped to the submitting client so the
+        #: merged timeline gets a dispatcher lane.
+        self.tracer = SpanTracer(process="dispatcher")
 
         self._workers: Dict[int, _WorkerSession] = {}
         self._clients: Dict[int, _ClientSession] = {}
@@ -441,7 +453,11 @@ class ClusterDispatcher:
                 worker.last_seen = self._loop.time()
                 kind = message.get("type")
                 if kind == MSG_PING:
-                    self._write(writer, {"type": MSG_PONG})
+                    # The snapshot lets a registered worker's scrape
+                    # endpoint mirror the cluster-wide exec.cluster.*
+                    # instruments (see run_registered_worker).
+                    self._write(writer, {"type": MSG_PONG,
+                                         "metrics": self.metrics.snapshot()})
                 elif kind == MSG_RESULT:
                     self._on_worker_result(worker, message)
                 elif kind == MSG_ERROR:
@@ -484,8 +500,22 @@ class ClusterDispatcher:
         self._pending.pop(task.key, None)
         if self.cache is not None:
             self.cache.put(task.experiment, SystemReport.from_dict(report_doc))
+        worker_spans = message.get("spans")
+        if not isinstance(worker_spans, list):
+            worker_spans = []
+        trace = task.trace or {}
+        dispatcher_span = self.tracer.record_span(
+            "exec.cluster.task",
+            start_ns=worker.started_ns,
+            duration_ns=time.perf_counter_ns() - worker.started_ns,
+            attrs={"label": task.label, "worker": worker.name,
+                   "attempts": task.attempts},
+            trace_id=trace.get("trace_id"),
+            parent_span_id=trace.get("parent_span_id"))
+        spans = merge_span_records(worker_spans, [dispatcher_span.to_dict()])
         for client_id, batch, index in task.targets:
-            self._send_result(client_id, batch, index, report_doc)
+            self._send_result(client_id, batch, index, report_doc,
+                              spans=spans)
         if worker.draining:
             self._write(worker.writer, {"type": MSG_GOODBYE})
             worker.closing = True
@@ -597,6 +627,9 @@ class ClusterDispatcher:
         self._m_submissions.inc()
         client.submitted += len(documents)
         client.remaining[batch] = len(documents)
+        trace = message.get("trace")
+        if not isinstance(trace, dict):
+            trace = None
         for index, document in enumerate(documents):
             try:
                 experiment = Experiment.from_dict(document)
@@ -607,10 +640,19 @@ class ClusterDispatcher:
                 continue
             label = experiment.name or experiment.workload
             key = experiment.content_hash()
+            lookup_ns = time.perf_counter_ns()
             cached = self.cache.get(experiment) \
                 if self.cache is not None else None
             if cached is not None:
-                self._send_result(client.id, batch, index, cached.to_dict())
+                hit_span = self.tracer.record_span(
+                    "exec.cluster.cache_hit",
+                    start_ns=lookup_ns,
+                    duration_ns=time.perf_counter_ns() - lookup_ns,
+                    attrs={"label": label},
+                    trace_id=(trace or {}).get("trace_id"),
+                    parent_span_id=(trace or {}).get("parent_span_id"))
+                self._send_result(client.id, batch, index, cached.to_dict(),
+                                  spans=[hit_span.to_dict()])
                 continue
             pending = self._pending.get(key)
             if pending is not None:
@@ -620,7 +662,7 @@ class ClusterDispatcher:
                 self._m_coalesced.inc()
                 continue
             task = _ClusterTask(key, experiment, document, label,
-                                [(client.id, batch, index)])
+                                [(client.id, batch, index)], trace=trace)
             self._pending[key] = task
             self._queue.push(client.tenant, task, weight=client.weight)
         self._update_queue_gauges()
@@ -696,9 +738,13 @@ class ClusterDispatcher:
             worker.task = task
             worker.task_id = task_id
             worker.started = self._loop.time()
+            worker.started_ns = time.perf_counter_ns()
             worker.deadline = worker.started + self.task_timeout
-            self._write(worker.writer, {"type": MSG_RUN, "task": task_id,
-                                        "experiment": task.payload})
+            frame = {"type": MSG_RUN, "task": task_id,
+                     "experiment": task.payload}
+            if task.trace is not None:
+                frame["trace"] = task.trace
+            self._write(worker.writer, frame)
         self._update_queue_gauges()
         self._maybe_finish_drain()
 
@@ -735,14 +781,18 @@ class ClusterDispatcher:
     # -- client delivery ----------------------------------------------------------
 
     def _send_result(self, client_id: int, batch: str, index: int,
-                     report_doc: Dict[str, Any]) -> None:
+                     report_doc: Dict[str, Any], *,
+                     spans: Optional[List[Dict[str, Any]]] = None) -> None:
         client = self._clients.get(client_id)
         if client is None:
             return
         client.completed += 1
         self._m_results.inc()
-        self._write(client.writer, {"type": MSG_RESULT, "batch": batch,
-                                    "task": index, "result": report_doc})
+        frame = {"type": MSG_RESULT, "batch": batch,
+                 "task": index, "result": report_doc}
+        if spans:
+            frame["spans"] = spans
+        self._write(client.writer, frame)
         self._batch_delivered(client, batch)
 
     def _send_task_error(self, client_id: int, batch: str, index: int,
@@ -784,8 +834,10 @@ class ClusterDispatcher:
     # -- introspection ------------------------------------------------------------
 
     def _status_reply(self) -> Dict[str, Any]:
+        now = self._loop.time() if self._loop is not None else 0.0
         workers = [{"name": w.name, "completed": w.completed,
-                    "busy": w.task is not None, "draining": w.draining}
+                    "busy": w.task is not None, "draining": w.draining,
+                    "idle_s": max(0.0, now - w.last_seen)}
                    for w in self._workers.values()]
         clients = [{"name": c.name, "weight": c.weight,
                     "submitted": c.submitted, "completed": c.completed,
@@ -805,6 +857,9 @@ class ClusterDispatcher:
             stats = self.cache.stats
             reply["cache"] = {"hits": stats.hits, "misses": stats.misses,
                               "stores": stats.stores}
+        # The full registry snapshot powers `repro top` and any other
+        # poller that wants more than the summary counters above.
+        reply["metrics"] = self.metrics.snapshot()
         return reply
 
 
@@ -973,13 +1028,20 @@ class ClusterBackend(ExecutionBackend):
                 raise ClusterError(
                     f"dispatcher refused the session: {welcome!r}")
             documents = [experiment.to_dict() for experiment in experiments]
+            # The batch's trace context rides the submit frame so
+            # dispatcher and worker spans land in this client's trace.
             send_message(sock, {"type": MSG_SUBMIT, "batch": "b0",
-                                "experiments": documents}, auth=self.auth)
+                                "experiments": documents,
+                                "trace": default_tracer().context().to_dict()},
+                         auth=self.auth)
             remaining = len(documents)
             while remaining:
                 message = self._recv(sock)
                 kind = message.get("type")
                 if kind == MSG_RESULT:
+                    spans = message.get("spans")
+                    if isinstance(spans, list) and spans:
+                        default_tracer().ingest(spans)
                     yield (int(message["task"]),
                            SystemReport.from_dict(message["result"]))
                     remaining -= 1

@@ -16,12 +16,16 @@ Message types (the ``"type"`` key of the decoded object):
     .to_dict()>}``. The worker executes the experiment and answers
     with exactly one ``result`` or ``error`` frame. On cluster
     connections the frame also carries a ``"task"`` id that the worker
-    echoes back.
+    echoes back. An optional ``"trace"`` key carries a
+    ``TraceContext.to_dict()`` so the worker's spans join the caller's
+    trace; workers that predate the key ignore it.
 ``result``
     Worker → dispatcher: ``{"type": "result", "result":
     <SystemReport.to_dict()>}``, optionally carrying ``"metrics"`` —
     the worker's cumulative ``MetricsRegistry.snapshot()`` for merged
-    telemetry reporting.
+    telemetry reporting — and ``"spans"`` — the span records the
+    worker opened while executing the task, for merged distributed
+    traces.
 ``error``
     Worker → dispatcher: ``{"type": "error", "error": <message>,
     "kind": <exception class name>}``. The task failed but the worker
@@ -272,19 +276,31 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
 
 # -- message constructors -----------------------------------------------------------
 
-def run_request(experiment_doc: Dict[str, Any]) -> Dict[str, Any]:
-    return {"type": MSG_RUN, "experiment": experiment_doc}
+def run_request(experiment_doc: Dict[str, Any], *,
+                trace: Dict[str, Any] = None) -> Dict[str, Any]:
+    """A ``run`` frame; ``trace`` optionally attaches a
+    :meth:`~repro.obs.TraceContext.to_dict` so spans opened by the
+    executing worker land in the caller's trace. Readers that predate
+    the key ignore it."""
+    request = {"type": MSG_RUN, "experiment": experiment_doc}
+    if trace is not None:
+        request["trace"] = trace
+    return request
 
 
 def result_reply(report_doc: Dict[str, Any],
-                 metrics: Dict[str, Any] = None) -> Dict[str, Any]:
+                 metrics: Dict[str, Any] = None, *,
+                 spans: list = None) -> Dict[str, Any]:
     """A ``result`` frame; ``metrics`` optionally attaches the worker's
     cumulative :meth:`~repro.obs.MetricsRegistry.snapshot` so the
-    dispatcher can merge per-worker telemetry. Readers that predate the
-    key ignore it."""
+    dispatcher can merge per-worker telemetry, and ``spans`` the span
+    records (:meth:`~repro.obs.SpanTracer.snapshot`) the worker opened
+    for this task. Readers that predate either key ignore it."""
     reply = {"type": MSG_RESULT, "result": report_doc}
     if metrics is not None:
         reply["metrics"] = metrics
+    if spans is not None:
+        reply["spans"] = spans
     return reply
 
 

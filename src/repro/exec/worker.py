@@ -169,36 +169,50 @@ class WorkerServer:
                 BackendError(f"unknown request type {kind!r}")))
 
     def _run(self, request: dict) -> dict:
-        # Imported lazily so a worker process only pays for the
-        # simulator once it actually receives work.
-        from .backends import _execute_to_dict
         started = time.perf_counter_ns()
         try:
             document = request["experiment"]
             if not isinstance(document, dict):
                 raise BackendError("run request carries no experiment dict")
-            report_doc = self._execute_cached(document)
+            # A propagated trace context makes this task's span part of
+            # the dispatching client's timeline; without one the span
+            # roots a fresh single-process trace.
+            from ..obs import SpanTracer, TraceContext
+            context = TraceContext.from_dict(request.get("trace"))
+            tracer = SpanTracer.for_context(context, process="worker")
+            with tracer.span("exec.worker.task",
+                             attrs={"label": str(document.get("name")
+                                                or document.get("workload")
+                                                or "?")}) as record:
+                report_doc, cache_hit = self._execute_cached(document)
+                record.attrs["cache_hit"] = cache_hit
             self._tasks_counter.inc()
             self._duration_hist.observe(time.perf_counter_ns() - started)
-            return result_reply(report_doc, metrics=self.metrics.snapshot())
+            return result_reply(report_doc, metrics=self.metrics.snapshot(),
+                                spans=tracer.snapshot())
         except Exception as error:      # noqa: BLE001 - survive any task
             self._errors_counter.inc()
             return error_reply(error)
 
-    def _execute_cached(self, document: dict) -> dict:
-        """Run one experiment document, through the worker cache if any."""
+    def _execute_cached(self, document: dict) -> tuple:
+        """Run one experiment document, through the worker cache if any.
+
+        Returns ``(report_doc, cache_hit)``.
+        """
+        # Imported lazily so a worker process only pays for the
+        # simulator once it actually receives work.
         from .backends import _execute_to_dict
         if self.cache is None:
-            return _execute_to_dict(document)
+            return _execute_to_dict(document), False
         from .experiment import Experiment
         experiment = Experiment.from_dict(document)
         cached = self.cache.get(experiment)
         if cached is not None:
-            return cached.to_dict()
+            return cached.to_dict(), True
         report_doc = _execute_to_dict(document)
         from ..sim.system import SystemReport
         self.cache.put(experiment, SystemReport.from_dict(report_doc))
-        return report_doc
+        return report_doc, False
 
     @staticmethod
     def _reply(connection: socket.socket, message: dict) -> None:
@@ -368,9 +382,18 @@ def run_registered_worker(dispatcher: Union[str, Tuple[str, int]], *,
                             and not draining:
                         send_message(sock, {"type": MSG_DRAIN}, auth=auth)
                         draining = True
+                elif kind == MSG_PONG:
+                    snapshot = message.get("metrics")
+                    if isinstance(snapshot, dict):
+                        # Heartbeat replies carry the dispatcher's
+                        # cumulative registry; mirroring it keeps this
+                        # worker's scrape endpoint (--metrics-port)
+                        # showing the whole cluster's exec.cluster.*
+                        # instruments, not just exec.worker.*.
+                        server.metrics.update_from_snapshot(snapshot)
                 elif kind in (MSG_GOODBYE, MSG_SHUTDOWN):
                     return served
-                # pong and unknown frames: ignore
+                # unknown frames: ignore
         except WireAuthError:
             raise       # wrong shared key: retrying cannot help
         except (WireProtocolError, OSError):

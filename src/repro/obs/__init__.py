@@ -9,13 +9,21 @@ Zero-dependency metrics and tracing threaded through the whole stack:
   :class:`~repro.sim.system.SystemReport` so metrics cross the result
   cache and the distributed wire protocol for free.
 * :func:`span` tracing for toolchain wall time (batch dispatch, trace
-  replay), collected by a :class:`SpanTracer`.
+  replay), collected by a :class:`SpanTracer`; a :class:`TraceContext`
+  propagates trace identity across the distributed wire so worker and
+  dispatcher spans merge into one timeline.
+* :class:`EventRecorder` — the flight recorder: a bounded,
+  deterministic log of the sim core's security-relevant transitions
+  (shreds, zero-fill elisions, counter overflows), embedded per-run in
+  reports and surfaced by ``repro events``.
 * Exporters: JSON-lines dumps (``--emit-metrics``), Prometheus text,
-  and the ``repro stats`` table.
+  chrome://tracing trace events, and the ``repro stats`` table.
 
 See ``docs/OBSERVABILITY.md`` for the naming scheme and formats.
 """
 
+from .events import (DEFAULT_EVENT_CAPACITY, EVENT_KINDS, EventRecorder,
+                     filter_events, format_event, write_events_jsonl)
 from .exporters import (DUMP_FORMAT, MetricsDump, metrics_rows, read_jsonl,
                         render_metrics_table, render_spans_table,
                         to_prometheus, to_trace_events, write_jsonl)
@@ -25,13 +33,17 @@ from .registry import (DEFAULT_DURATION_BUCKETS_NS,
                        merge_snapshots)
 from .scrape import (PROMETHEUS_CONTENT_TYPE, MetricsHTTPServer,
                      start_metrics_server)
-from .spans import SpanRecord, SpanTracer, default_tracer, span
+from .spans import (SpanRecord, SpanTracer, TraceContext, default_tracer,
+                    merge_span_records, span)
 
 __all__ = [
     "Counter",
     "DEFAULT_DURATION_BUCKETS_NS",
+    "DEFAULT_EVENT_CAPACITY",
     "DEFAULT_LATENCY_BUCKETS_NS",
     "DUMP_FORMAT",
+    "EVENT_KINDS",
+    "EventRecorder",
     "Gauge",
     "Histogram",
     "INF",
@@ -42,9 +54,13 @@ __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
     "SpanRecord",
     "SpanTracer",
+    "TraceContext",
     "check_name",
     "default_tracer",
+    "filter_events",
+    "format_event",
     "merge_snapshots",
+    "merge_span_records",
     "metrics_rows",
     "read_jsonl",
     "render_metrics_table",
@@ -53,5 +69,6 @@ __all__ = [
     "start_metrics_server",
     "to_prometheus",
     "to_trace_events",
+    "write_events_jsonl",
     "write_jsonl",
 ]

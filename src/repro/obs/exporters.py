@@ -139,25 +139,48 @@ def to_trace_events(spans: List[Dict[str, Any]], *,
     events on a track from their time ranges, so the tracer's
     parent/depth structure reappears visually. Load the result in
     ``chrome://tracing`` or https://ui.perfetto.dev. Span attrs ride in
-    ``args``, plus the record's index/parent_index so the exact tree is
-    recoverable from the export.
+    ``args``, plus the record's index/parent_index (and, when traced
+    across processes, trace_id/span_id/parent_span_id) so the exact
+    tree is recoverable from the export.
+
+    Records carrying a ``pid`` (stamped by :class:`SpanTracer`) land
+    on their own process lane, named by the record's ``process`` role
+    when present — a merged multi-process trace renders client,
+    dispatcher, and each worker separately. Records without a ``pid``
+    (pre-propagation dumps) fall back to the ``pid``/``process_name``
+    arguments, preserving the legacy single-lane output.
     """
+    lanes: List[int] = []               # first-seen order
+    lane_names: Dict[int, Optional[str]] = {}
+    for record in spans:
+        lane = record.get("pid")
+        lane = pid if lane is None else lane
+        if lane not in lane_names:
+            lanes.append(lane)
+            lane_names[lane] = record.get("process")
+    if not lanes:
+        lanes.append(pid)
+        lane_names[pid] = None
     events: List[Dict[str, Any]] = [{
-        "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
-        "args": {"name": process_name},
-    }]
+        "ph": "M", "name": "process_name", "pid": lane, "tid": 0,
+        "args": {"name": lane_names[lane] or process_name},
+    } for lane in lanes]
     for record in spans:
         args = dict(record.get("attrs") or {})
         args["index"] = record.get("index")
         if record.get("parent_index") is not None:
             args["parent_index"] = record.get("parent_index")
+        for key in ("trace_id", "span_id", "parent_span_id"):
+            if record.get(key) is not None:
+                args[key] = record[key]
+        lane = record.get("pid")
         events.append({
             "name": record.get("name", "?"),
             "cat": "repro",
             "ph": "X",
             "ts": record.get("start_ns", 0) / 1000.0,
             "dur": record.get("duration_ns", 0) / 1000.0,
-            "pid": pid,
+            "pid": pid if lane is None else lane,
             "tid": 0,
             "args": args,
         })

@@ -354,6 +354,7 @@ class HierarchyMissPort:
                            else None)
         self._page = -1        # page whose counter line is known resident
         self._pending = 0      # deferred zero-fill fetches on that page
+        self._pending_start = 0.0   # sim time the deferral window opened
         self.zero_elided = 0   # total controller probes elided (metric)
 
     def fetch(self, address: int, now_ns: float) -> Tuple[float, bool,
@@ -367,6 +368,8 @@ class HierarchyMissPort:
             counters = self._cc.peek(page)
             if counters is not None and counters.is_shredded(
                     self._offset_of(address)):
+                if not self._pending:
+                    self._pending_start = now_ns
                 self._pending += 1
                 self.zero_elided += 1
                 return self._hit_latency, True, self._zero_data
@@ -390,6 +393,12 @@ class HierarchyMissPort:
             return
         self._pending = 0
         ctl = self.ctl
+        if ctl.events is not None:
+            # One bulk emission for the run; the recorder coalesces it
+            # with the window-opening fetch's event (same kind/page), so
+            # the log matches the scalar walk's per-access emissions.
+            ctl.events.emit("zero_fill", self._page, self._pending_start,
+                            count=count)
         stats = ctl.stats
         latency = self._hit_latency
         stats.counter_hits += count
@@ -767,6 +776,11 @@ class BatchEngine(AccessEngine):
             nonlocal zero_run
             if not zero_run:
                 return
+            if ctl.events is not None:
+                # Every access in the run shares this epoch's ``now``,
+                # so one bulk emission coalesces exactly like the
+                # scalar engine's per-access zero_fill events.
+                ctl.events.emit("zero_fill", page_id, now, count=zero_run)
             stats.zero_fill_reads += zero_run
             stats.read_requests += zero_run
             stats.total_read_latency_ns += zero_run * hit_latency
@@ -820,7 +834,16 @@ class BatchEngine(AccessEngine):
                 if functional and (data is None or len(data) != block_size):
                     raise AddressError(
                         "functional store requires a full data block")
+                if ctl.events is not None and zero_semantics \
+                        and counters.is_shredded(offset):
+                    # Mirror of store_block's emission: the inline write
+                    # path bypasses the controller entry point.
+                    ctl.events.emit("shredded_writeback", page_id, now,
+                                    block=offset)
                 if counters.bump_minor(offset):
+                    if ctl.events is not None:
+                        ctl.events.emit("minor_overflow", page_id, now,
+                                        block=offset)
                     latency = ctl._reencrypt_page(page_id, counters,
                                                   {offset: data}, now)
                     stats.reencryptions += 1

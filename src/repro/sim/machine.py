@@ -23,17 +23,21 @@ class Machine:
 
     def __init__(self, config: SystemConfig, *, shredder: bool = True,
                  policy: Optional[ShredPolicy] = None,
-                 metrics=None, clock: Optional[SimClock] = None) -> None:
+                 metrics=None, events=None,
+                 clock: Optional[SimClock] = None) -> None:
         self.config = config
         self.functional = config.functional
         self.block_size = config.block_size
         self.metrics = metrics
+        self.events = events
         self.clock = clock if clock is not None else SimClock()
         if shredder:
             self.controller: SecureMemoryController = SilentShredderController(
-                config, policy=policy, metrics=metrics, clock=self.clock)
+                config, policy=policy, metrics=metrics, events=events,
+                clock=self.clock)
         else:
             self.controller = SecureMemoryController(config, metrics=metrics,
+                                                     events=events,
                                                      clock=self.clock)
         self.hierarchy = CacheHierarchy(config, self._on_miss, self._on_writeback)
         self.shred_register: Optional[ShredRegister] = None

@@ -18,7 +18,7 @@ from ..core.policies import ShredPolicy
 from ..cpu import Core
 from ..errors import SimulationError
 from ..kernel import Kernel
-from ..obs import MetricsRegistry
+from ..obs import EventRecorder, MetricsRegistry
 from ..runtime import ExecutionContext
 from .machine import Machine
 
@@ -55,10 +55,15 @@ class SystemReport:
     #: lets this field ride the result cache and the worker wire
     #: protocol without breaking byte-identical report comparisons.
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: Flight-recorder event log (:meth:`repro.obs.EventRecorder.snapshot`).
+    #: Like ``metrics``, every field is a simulated quantity, so the log
+    #: is byte-identical across hosts, engines, and serial-vs-cluster
+    #: execution for the same experiment.
+    events: List[Dict[str, object]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, float]:
         data = {k: v for k, v in self.__dict__.items()
-                if k not in ("extra", "metrics")}
+                if k not in ("extra", "metrics", "events")}
         data.update(self.extra)
         return data
 
@@ -66,13 +71,15 @@ class SystemReport:
         """JSON-safe form that round-trips through :meth:`from_dict`.
 
         Unlike :meth:`as_dict` (which flattens ``extra`` for table
-        rendering), this keeps ``extra`` and ``metrics`` nested so
-        reports can cross process and disk boundaries losslessly.
+        rendering), this keeps ``extra``, ``metrics``, and ``events``
+        nested so reports can cross process and disk boundaries
+        losslessly.
         """
         data = {k: v for k, v in self.__dict__.items()
-                if k not in ("extra", "metrics")}
+                if k not in ("extra", "metrics", "events")}
         data["extra"] = dict(self.extra)
         data["metrics"] = dict(self.metrics)
+        data["events"] = [dict(e) for e in self.events]
         return data
 
     @classmethod
@@ -87,6 +94,7 @@ class SystemReport:
         kwargs = {k: v for k, v in data.items() if k in known}
         kwargs["extra"] = dict(kwargs.get("extra") or {})
         kwargs["metrics"] = dict(kwargs.get("metrics") or {})
+        kwargs["events"] = [dict(e) for e in kwargs.get("events") or []]
         return cls(**kwargs)
 
 
@@ -97,6 +105,7 @@ class System:
                  shredder: bool = True, policy: Optional[ShredPolicy] = None,
                  name: str = "system",
                  metrics: Optional[MetricsRegistry] = None,
+                 events: Optional[EventRecorder] = None,
                  engine: str = "scalar") -> None:
         self.config = config if config is not None else default_config()
         self.name = name
@@ -104,8 +113,9 @@ class System:
         parse_engine_spec(engine)      # raises ExperimentError if unknown
         self.engine = engine
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventRecorder()
         self.machine = Machine(self.config, shredder=shredder, policy=policy,
-                               metrics=self.metrics)
+                               metrics=self.metrics, events=self.events)
         self.kernel = Kernel(self.machine)
         self.kernel.system = self      # for TLB shootdowns on munmap
         self.cores = [Core(i, self.config.cpu)
@@ -227,6 +237,8 @@ class System:
         # The registry mirrors the dataclasses just zeroed; reset it with
         # them so the pull collector's monotonic publishes stay valid.
         self.metrics.reset()
+        # Warm-up shreds belong to the discarded window, not the report.
+        self.events.clear()
 
     @property
     def shred_register(self):
@@ -327,6 +339,14 @@ class System:
         registry.gauge("cpu.cycles", unit="cycles").set(
             max((c.stats.cycles for c in self.cores), default=0.0))
 
+        events = self.events
+        for name, value in (
+                ("obs.events.emitted", events.emitted),
+                ("obs.events.recorded", events.recorded),
+                ("obs.events.dropped", events.dropped),
+        ):
+            registry.counter(name, unit="events").set_total(value)
+
     def dump_stats(self) -> str:
         """A gem5-style multi-section statistics dump."""
         from ..analysis.report import render_table  # repro: suppress REPRO203 -- debug printf
@@ -402,4 +422,5 @@ class System:
         report.extra["counter_misses"] = float(ctl.counter_misses)
         report.extra["reencryptions"] = float(ctl.reencryptions)
         report.metrics = self.metrics.snapshot()
+        report.events = self.events.snapshot()
         return report

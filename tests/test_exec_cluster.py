@@ -7,6 +7,7 @@ below keeps tasks slow enough to observe scheduling and inject faults.
 
 import contextlib
 import json
+import os
 import socket
 import threading
 import time
@@ -189,6 +190,54 @@ def read_batch(sock, auth=None):
             return frames
         if message.get("type") == MSG_RESULT:
             frames.append(message)
+
+
+class TestClusterTracePropagation:
+    def test_cluster_run_yields_one_timeline(self):
+        """A cluster batch merges into one trace on the client: the
+        runner's ``exec.batch`` span parents both the dispatcher's
+        ``exec.cluster.task`` spans and the forked workers'
+        ``exec.worker.task`` spans, correlated by one trace id."""
+        from repro.obs import default_tracer
+        tracer = default_tracer()
+        before = len(tracer.records)
+        with cluster() as server:
+            with registered_worker_pool(2, server.endpoint):
+                backend = ClusterBackend(server.address,
+                                         client_name="tracing")
+                Runner(backend=backend, use_cache=False).run(
+                    nap_batch(3, seconds=0.01, tag="traced"))
+        new = tracer.records[before:]
+        roots = [r for r in new if r.name == "exec.batch"]
+        workers = [r for r in new if r.name == "exec.worker.task"]
+        dispatch = [r for r in new if r.name == "exec.cluster.task"]
+        assert len(roots) == 1
+        assert len(workers) == 3 and len(dispatch) == 3
+        root = roots[0]
+        for record in workers + dispatch:
+            assert record.trace_id == root.trace_id
+            assert record.parent_span_id == root.span_id
+        assert {r.process for r in workers} == {"worker"}
+        assert {r.process for r in dispatch} == {"dispatcher"}
+        assert all(r.pid != os.getpid() for r in workers)
+        assert all(r.attrs.get("worker") for r in dispatch)
+
+    def test_cache_hit_recorded_as_span(self, tmp_path):
+        from repro.obs import default_tracer
+        tracer = default_tracer()
+        before = len(tracer.records)
+        experiment = nap_batch(1, seconds=0.01, tag="hit")
+        with cluster(cache=ResultCache(tmp_path / "cache")) as server:
+            with registered_worker_pool(1, server.endpoint):
+                for _ in range(2):      # second submission hits the cache
+                    backend = ClusterBackend(server.address,
+                                             client_name="hitter")
+                    Runner(backend=backend,
+                           use_cache=False).run(experiment)
+        hits = [r for r in tracer.records[before:]
+                if r.name == "exec.cluster.cache_hit"]
+        assert len(hits) == 1
+        assert hits[0].process == "dispatcher"
 
 
 class TestClusterFaults:

@@ -155,3 +155,71 @@ class TestMerge:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ObservabilityError):
             MetricsRegistry().merge_snapshot({"x.y": {"kind": "mystery"}})
+
+    def test_empty_and_none_snapshots_are_neutral(self):
+        base = self.make_snapshot(3, 10, [5])
+        merged = merge_snapshots({}, base, {})
+        assert json.dumps(merged, sort_keys=True) \
+            == json.dumps(merge_snapshots(base), sort_keys=True)
+        registry = MetricsRegistry()
+        registry.merge_snapshot(None)       # an idle worker shipped nothing
+        assert registry.snapshot() == {}
+
+    def test_all_empty_merges_to_empty(self):
+        assert merge_snapshots({}, {}) == {}
+        assert merge_snapshots() == {}
+
+    def test_gauge_max_across_three_way_merge(self):
+        parts = [self.make_snapshot(1, 4, []),
+                 self.make_snapshot(1, 11, []),
+                 self.make_snapshot(1, 7, [])]
+        for ordering in (parts, list(reversed(parts)),
+                         [parts[1], parts[0], parts[2]]):
+            merged = merge_snapshots(*ordering)
+            assert merged["g.level"]["value"] == 11
+            assert merged["c.total"]["value"] == 3
+
+    def test_disjoint_names_union(self):
+        left = MetricsRegistry()
+        left.counter("only.left").inc(2)
+        right = MetricsRegistry()
+        right.gauge("only.right").set(5)
+        merged = merge_snapshots(left.snapshot(), right.snapshot())
+        assert merged["only.left"]["value"] == 2
+        assert merged["only.right"]["value"] == 5
+
+
+class TestUpdateFromSnapshot:
+    def test_republishing_is_idempotent(self):
+        source = MetricsRegistry()
+        source.counter("exec.cluster.tasks_completed").inc(7)
+        source.gauge("exec.cluster.queue_depth").set(3)
+        source.histogram("exec.cluster.task_duration_ns",
+                         buckets=(10, 20)).observe(15)
+        mirror = MetricsRegistry()
+        for _ in range(3):      # a heartbeat mirror refreshes repeatedly
+            mirror.update_from_snapshot(source.snapshot())
+        snapshot = mirror.snapshot()
+        assert snapshot["exec.cluster.tasks_completed"]["value"] == 7
+        assert snapshot["exec.cluster.queue_depth"]["value"] == 3
+        assert snapshot["exec.cluster.task_duration_ns"]["count"] == 1
+
+    def test_mirror_tracks_level_both_ways(self):
+        source = MetricsRegistry()
+        gauge = source.gauge("exec.cluster.inflight")
+        mirror = MetricsRegistry()
+        gauge.set(9)
+        mirror.update_from_snapshot(source.snapshot())
+        gauge.set(2)            # unlike merge, a mirror may go down
+        mirror.update_from_snapshot(source.snapshot())
+        assert mirror.snapshot()["exec.cluster.inflight"]["value"] == 2
+
+    def test_counters_stay_monotonic(self):
+        source = MetricsRegistry()
+        source.counter("exec.cluster.submissions").inc(5)
+        mirror = MetricsRegistry()
+        mirror.update_from_snapshot(source.snapshot())
+        with pytest.raises(ObservabilityError):
+            mirror.update_from_snapshot(
+                {"exec.cluster.submissions":
+                 {"kind": "counter", "value": 3}})
