@@ -10,13 +10,16 @@ cache and cold sweeps accept ``jobs=N`` for parallel execution.
 The *static* half (``repro analyze`` / ``tools/analyze.py``): a
 dependency-free AST analyzer — :class:`Analyzer` runs the registered
 pass families (determinism, layering, shred-semantics, metrics
-namespace, concurrency, format) over the tree and reports
-``REPRO###``-coded violations. See ``docs/ANALYSIS.md`` for the rule
-catalog and suppression syntax.
+namespace, concurrency, format, plus the project-wide dataflow
+families: lock-guard race inference, wire-schema conformance, and
+determinism taint) over the tree and reports ``REPRO###``-coded
+violations, with an incremental per-file-digest result cache for warm
+runs. See ``docs/ANALYSIS.md`` for the architecture, the rule catalog,
+and the suppression syntax.
 """
 
-from .engine import (AnalysisPass, AnalysisReport, Analyzer, SourceFile,
-                     Violation, module_name)
+from .engine import (AnalysisPass, AnalysisReport, Analyzer, ProjectPass,
+                     SourceFile, Violation, module_name)
 from .figures import (
     fig4_memset,
     fig5_zeroing_writes,
@@ -28,12 +31,14 @@ from .figures import (
 )
 from .passes import builtin_passes, rule_catalog
 from .report import render_table, rows_to_csv, rows_to_json
-from .reporters import render_json, render_text, report_from_json
+from .reporters import (render_json, render_sarif, render_text,
+                        report_from_json)
 
 __all__ = [
     "AnalysisPass",
     "AnalysisReport",
     "Analyzer",
+    "ProjectPass",
     "SourceFile",
     "Violation",
     "ablation_policies",
@@ -44,6 +49,7 @@ __all__ = [
     "fig8_to_11_study",
     "module_name",
     "render_json",
+    "render_sarif",
     "render_table",
     "render_text",
     "report_from_json",

@@ -1,0 +1,141 @@
+"""Incremental result cache for analyzer runs.
+
+A full run parses every file and walks every tree; in CI and in
+``--changed`` workflows the tree is almost always identical to the
+previous run. This cache keys each file's *raw pass emissions* (the
+pre-suppression ``(line, code, message, pass)`` stream) plus its
+suppression tables by the sha256 of the file bytes, and the combined
+project-pass emissions by a digest over the whole file set. A warm run
+then only reads bytes and hashes them — no tokenize, no ``ast.parse``,
+no tree walks — and replays the cached emissions through the normal
+select/ignore/suppression pipeline, so filters and suppression
+accounting (including ``REPRO011`` unused-suppression findings) stay
+exact.
+
+Staleness is handled by construction:
+
+- file edits change the file digest (and the project digest);
+- rule changes change the *salt* — a hash over the engine cache
+  version, every registered pass's ``(name, version, codes)``, and the
+  content of each pass's declared ``inputs`` files (e.g. the metrics
+  namespace table in ``docs/OBSERVABILITY.md``). A salt mismatch
+  drops the whole cache.
+
+The on-disk format is one JSON document, written atomically; load and
+save failures degrade to an empty cache rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: Bump when the cached payload shape changes.
+CACHE_SCHEMA = 1
+
+#: Default cache file name, resolved under the analyzer root.
+DEFAULT_CACHE_FILENAME = ".repro-analysis-cache.json"
+
+#: One cached emission: (line, code, message, pass_name).
+Emission = Tuple[int, str, str, str]
+
+#: One project-pass emission: (display, line, code, message, pass_name).
+ProjectEmission = Tuple[str, int, str, str, str]
+
+
+class AnalysisCache:
+    """Digest-keyed store of per-file and project-pass emissions."""
+
+    def __init__(self, path: Union[str, Path], salt: str) -> None:
+        self.path = Path(path)
+        self.salt = salt
+        self._files: Dict[str, Dict[str, Any]] = {}
+        self._project: Optional[Dict[str, Any]] = None
+        self._dirty = False
+        self._load()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(document, dict) \
+                or document.get("schema") != CACHE_SCHEMA \
+                or document.get("salt") != self.salt:
+            return
+        files = document.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = document.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    def save(self) -> None:
+        """Atomically persist the cache; best-effort on I/O errors."""
+        if not self._dirty:
+            return
+        document = {"schema": CACHE_SCHEMA, "salt": self.salt,
+                    "files": self._files, "project": self._project}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w", encoding="utf-8", dir=str(self.path.parent),
+                prefix=self.path.name + ".", suffix=".tmp", delete=False)
+            with handle:
+                json.dump(document, handle, separators=(",", ":"))
+            os.replace(handle.name, self.path)
+            self._dirty = False
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except (OSError, UnboundLocalError):
+                pass
+
+    # -- per-file entries ----------------------------------------------------
+
+    def lookup(self, display: str, digest: str) -> Optional[Dict[str, Any]]:
+        entry = self._files.get(display)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        return entry
+
+    def store(self, display: str, digest: str,
+              emissions: List[Emission],
+              suppressed: Dict[int, Any],
+              comments: List[Tuple[int, List[str], List[int], str]]) -> None:
+        self._files[display] = {
+            "digest": digest,
+            "emissions": [list(emission) for emission in emissions],
+            "suppressed": {str(line): sorted(codes)
+                           for line, codes in suppressed.items()},
+            "comments": [list(comment) for comment in comments],
+        }
+        self._dirty = True
+
+    def prune(self, displays: Any) -> None:
+        """Drop entries for files no longer in the analyzed set."""
+        keep = set(displays)
+        stale = [display for display in self._files if display not in keep]
+        for display in stale:
+            del self._files[display]
+            self._dirty = True
+
+    # -- project-pass entries ------------------------------------------------
+
+    def project_lookup(self, digest: str) -> Optional[List[ProjectEmission]]:
+        if self._project is None or self._project.get("digest") != digest:
+            return None
+        emissions = self._project.get("emissions", [])
+        return [tuple(emission) for emission in emissions]  # type: ignore
+
+    def project_store(self, digest: str,
+                      emissions: List[ProjectEmission]) -> None:
+        self._project = {"digest": digest,
+                         "emissions": [list(emission)
+                                       for emission in emissions]}
+        self._dirty = True

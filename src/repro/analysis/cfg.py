@@ -1,0 +1,372 @@
+"""Intraprocedural control-flow graphs and reaching definitions.
+
+The flow-aware rule families (``REPRO11x`` taint) need to know *which*
+assignment a name use can observe, not just that the name occurs
+somewhere in the function. This module lowers one
+``FunctionDef``/``AsyncFunctionDef`` into basic blocks and runs the
+classic reaching-definitions fixpoint over them.
+
+Blocks hold *shallow* statements: a compound statement (``if``,
+``for``, ``try``...) appears in the block that reaches its header, but
+its body statements live in their own blocks, so definition extraction
+(:func:`shallow_defs`) must never recurse into bodies. Exception
+edges are approximated coarsely (every handler is reachable from the
+start of its ``try`` body), which over-approximates reachable
+definitions — safe for the consumers here, which only ever *weaken*
+claims when more definitions reach a use.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: One definition site: (name, block id, index of the defining
+#: statement inside the block). Function parameters use block id -1.
+DefSite = Tuple[str, int, int]
+
+
+class Block:
+    """A basic block: shallow statements plus successor block ids."""
+
+    def __init__(self, block_id: int) -> None:
+        self.id = block_id
+        self.statements: List[ast.AST] = []
+        self.successors: Set[int] = set()
+
+    def add_successor(self, other: "Block") -> None:
+        self.successors.add(other.id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Block({self.id}, stmts={len(self.statements)}, " \
+               f"succ={sorted(self.successors)})"
+
+
+class ControlFlowGraph:
+    """All blocks of one function; block 0 is the entry."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.blocks: List[Block] = []
+
+    @property
+    def entry(self) -> Block:
+        return self.blocks[0]
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def predecessors(self) -> Dict[int, Set[int]]:
+        preds: Dict[int, Set[int]] = {block.id: set() for block in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                preds[succ].add(block.id)
+        return preds
+
+    def statements(self) -> Iterator[Tuple[Block, int, ast.AST]]:
+        for block in self.blocks:
+            for index, statement in enumerate(block.statements):
+                yield block, index, statement
+
+
+class _LoopFrame:
+    def __init__(self, head: Block, after: Block) -> None:
+        self.head = head
+        self.after = after
+
+
+class _CFGBuilder:
+    def __init__(self, func: ast.AST) -> None:
+        self.cfg = ControlFlowGraph(func)
+        self.loops: List[_LoopFrame] = []
+
+    def build(self) -> ControlFlowGraph:
+        entry = self.cfg.new_block()
+        self._body(self.func_body(), entry)
+        return self.cfg
+
+    def func_body(self) -> Sequence[ast.stmt]:
+        return self.cfg.func.body  # type: ignore[attr-defined]
+
+    def _body(self, body: Sequence[ast.stmt],
+              current: Block) -> Optional[Block]:
+        """Lower ``body`` starting in ``current``; return the block open
+        at the end, or ``None`` if every path terminated."""
+        for statement in body:
+            if current is None:
+                # Unreachable code after return/raise/break: park it in
+                # a fresh disconnected block so its defs exist but
+                # never reach anything.
+                current = self.cfg.new_block()
+            if isinstance(statement, ast.If):
+                current = self._if(statement, current)
+            elif isinstance(statement, (ast.While, ast.For, ast.AsyncFor)):
+                current = self._loop(statement, current)
+            elif isinstance(statement, ast.Try):
+                current = self._try(statement, current)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                current.statements.append(statement)
+                current = self._body(statement.body, current)
+            elif isinstance(statement, (ast.Return, ast.Raise)):
+                current.statements.append(statement)
+                return None
+            elif isinstance(statement, ast.Break):
+                if self.loops:
+                    current.add_successor(self.loops[-1].after)
+                return None
+            elif isinstance(statement, ast.Continue):
+                if self.loops:
+                    current.add_successor(self.loops[-1].head)
+                return None
+            elif hasattr(ast, "Match") and isinstance(
+                    statement, getattr(ast, "Match")):
+                current = self._match(statement, current)
+            else:
+                # Simple statements — and nested function/class defs,
+                # which bind a name but whose bodies are other scopes.
+                current.statements.append(statement)
+        return current
+
+    def _if(self, statement: ast.If, current: Block) -> Block:
+        current.statements.append(statement)  # shallow: test uses only
+        join = self.cfg.new_block()
+        then_block = self.cfg.new_block()
+        current.add_successor(then_block)
+        then_end = self._body(statement.body, then_block)
+        if then_end is not None:
+            then_end.add_successor(join)
+        if statement.orelse:
+            else_block = self.cfg.new_block()
+            current.add_successor(else_block)
+            else_end = self._body(statement.orelse, else_block)
+            if else_end is not None:
+                else_end.add_successor(join)
+        else:
+            current.add_successor(join)
+        return join
+
+    def _loop(self, statement: ast.stmt, current: Block) -> Block:
+        head = self.cfg.new_block()
+        after = self.cfg.new_block()
+        current.add_successor(head)
+        head.statements.append(statement)  # shallow: target def / test use
+        body_block = self.cfg.new_block()
+        head.add_successor(body_block)
+        head.add_successor(after)
+        self.loops.append(_LoopFrame(head, after))
+        body_end = self._body(statement.body,  # type: ignore[attr-defined]
+                              body_block)
+        self.loops.pop()
+        if body_end is not None:
+            body_end.add_successor(head)
+        orelse = getattr(statement, "orelse", None)
+        if orelse:
+            else_block = self.cfg.new_block()
+            head.add_successor(else_block)
+            else_end = self._body(orelse, else_block)
+            if else_end is not None:
+                else_end.add_successor(after)
+        return after
+
+    def _try(self, statement: ast.Try, current: Block) -> Block:
+        after = self.cfg.new_block()
+        body_block = self.cfg.new_block()
+        current.add_successor(body_block)
+        body_end = self._body(statement.body, body_block)
+        for handler in statement.handlers:
+            handler_block = self.cfg.new_block()
+            # Coarse: an exception may fire before any body statement
+            # ran (edge from the entry of the try) or after all of them.
+            body_block.add_successor(handler_block)
+            if body_end is not None:
+                body_end.add_successor(handler_block)
+            handler_block.statements.append(handler)  # def of `as name`
+            handler_end = self._body(handler.body, handler_block)
+            if handler_end is not None:
+                handler_end.add_successor(after)
+        if body_end is not None:
+            if statement.orelse:
+                else_block = self.cfg.new_block()
+                body_end.add_successor(else_block)
+                else_end = self._body(statement.orelse, else_block)
+                if else_end is not None:
+                    else_end.add_successor(after)
+            else:
+                body_end.add_successor(after)
+        if statement.finalbody:
+            final_end = self._body(statement.finalbody, after)
+            if final_end is not None and final_end is not after:
+                after = final_end
+        return after
+
+    def _match(self, statement: ast.AST, current: Block) -> Block:
+        current.statements.append(statement)
+        join = self.cfg.new_block()
+        current.add_successor(join)  # no case may match
+        for case in statement.cases:  # type: ignore[attr-defined]
+            case_block = self.cfg.new_block()
+            current.add_successor(case_block)
+            case_end = self._body(case.body, case_block)
+            if case_end is not None:
+                case_end.add_successor(join)
+        return join
+
+
+def build_cfg(func: ast.AST) -> ControlFlowGraph:
+    """Lower a ``FunctionDef``/``AsyncFunctionDef`` into basic blocks."""
+    return _CFGBuilder(func).build()
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            for name in _target_names(element):
+                yield name
+    elif isinstance(target, ast.Starred):
+        for name in _target_names(target.value):
+            yield name
+
+
+def shallow_defs(statement: ast.AST) -> List[str]:
+    """Names a statement (re)binds, WITHOUT recursing into bodies."""
+    names: List[str] = []
+    if isinstance(statement, ast.Assign):
+        for target in statement.targets:
+            names.extend(_target_names(target))
+    elif isinstance(statement, ast.AnnAssign):
+        if statement.value is not None:
+            names.extend(_target_names(statement.target))
+    elif isinstance(statement, ast.AugAssign):
+        names.extend(_target_names(statement.target))
+    elif isinstance(statement, (ast.For, ast.AsyncFor)):
+        names.extend(_target_names(statement.target))
+    elif isinstance(statement, (ast.With, ast.AsyncWith)):
+        for item in statement.items:
+            if item.optional_vars is not None:
+                names.extend(_target_names(item.optional_vars))
+    elif isinstance(statement, ast.ExceptHandler):
+        if statement.name:
+            names.append(statement.name)
+    elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.ClassDef)):
+        names.append(statement.name)
+    elif isinstance(statement, (ast.Import, ast.ImportFrom)):
+        for alias in statement.names:
+            if alias.name != "*":
+                names.append(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def def_value(statement: ast.AST, name: str) -> Optional[ast.expr]:
+    """The expression whose value flows into ``name`` at this def site.
+
+    ``None`` when the binding has no single traceable value expression
+    (loop targets get the *iterable*, so taint over-approximates
+    usefully: iterating a tainted value taints the loop variable).
+    """
+    if isinstance(statement, ast.Assign):
+        return statement.value
+    if isinstance(statement, ast.AnnAssign):
+        return statement.value
+    if isinstance(statement, ast.AugAssign):
+        return statement.value
+    if isinstance(statement, (ast.For, ast.AsyncFor)):
+        return statement.iter
+    if isinstance(statement, (ast.With, ast.AsyncWith)):
+        for item in statement.items:
+            if item.optional_vars is not None \
+                    and name in set(_target_names(item.optional_vars)):
+                return item.context_expr
+    return None
+
+
+class ReachingDefinitions:
+    """Classic forward may-analysis over a :class:`ControlFlowGraph`.
+
+    ``state_before(block_id, index)`` answers: which definition sites of
+    each name may still be live immediately before the ``index``-th
+    statement of block ``block_id``.
+    """
+
+    PARAM_BLOCK = -1
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+        self.block_in: Dict[int, Dict[str, Set[DefSite]]] = {}
+        self._solve()
+
+    def _param_state(self) -> Dict[str, Set[DefSite]]:
+        state: Dict[str, Set[DefSite]] = {}
+        args = getattr(self.cfg.func, "args", None)
+        if args is None:
+            return state
+        names = [a.arg for a in getattr(args, "posonlyargs", [])]
+        names += [a.arg for a in args.args]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        names += [a.arg for a in args.kwonlyargs]
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        for index, name in enumerate(names):
+            state[name] = {(name, self.PARAM_BLOCK, index)}
+        return state
+
+    @staticmethod
+    def _transfer(block: Block,
+                  state: Dict[str, Set[DefSite]]
+                  ) -> Dict[str, Set[DefSite]]:
+        state = {name: set(sites) for name, sites in state.items()}
+        for index, statement in enumerate(block.statements):
+            for name in shallow_defs(statement):
+                state[name] = {(name, block.id, index)}
+        return state
+
+    @staticmethod
+    def _merge(states: List[Dict[str, Set[DefSite]]]
+               ) -> Dict[str, Set[DefSite]]:
+        merged: Dict[str, Set[DefSite]] = {}
+        for state in states:
+            for name, sites in state.items():
+                merged.setdefault(name, set()).update(sites)
+        return merged
+
+    def _solve(self) -> None:
+        preds = self.cfg.predecessors()
+        block_out: Dict[int, Dict[str, Set[DefSite]]] = {}
+        for block in self.cfg.blocks:
+            self.block_in[block.id] = {}
+            block_out[block.id] = {}
+        self.block_in[self.cfg.entry.id] = self._param_state()
+        worklist = [block.id for block in self.cfg.blocks]
+        blocks = {block.id: block for block in self.cfg.blocks}
+        iterations = 0
+        limit = max(64, 8 * len(self.cfg.blocks) * (len(self.cfg.blocks) + 1))
+        while worklist and iterations < limit:
+            iterations += 1
+            block_id = worklist.pop(0)
+            block = blocks[block_id]
+            incoming = [block_out[p] for p in preds[block_id]]
+            if block_id == self.cfg.entry.id:
+                incoming.append(self._param_state())
+            state_in = self._merge(incoming) if incoming else {}
+            self.block_in[block_id] = state_in
+            state_out = self._transfer(block, state_in)
+            if state_out != block_out[block_id]:
+                block_out[block_id] = state_out
+                for succ in block.successors:
+                    if succ not in worklist:
+                        worklist.append(succ)
+
+    def state_before(self, block_id: int,
+                     index: int) -> Dict[str, Set[DefSite]]:
+        block = self.cfg.blocks[block_id]
+        state = {name: set(sites)
+                 for name, sites in self.block_in[block_id].items()}
+        for position in range(index):
+            for name in shallow_defs(block.statements[position]):
+                state[name] = {(name, block_id, position)}
+        return state

@@ -9,14 +9,31 @@ AST analyzer: each file is read and parsed **once** into a
 :class:`SourceFile`, every registered :class:`AnalysisPass` walks that
 shared tree, and violations come back as ``REPRO###``-coded records
 that the reporters render as ``path:line: code message`` text (clickable
-in editors and CI logs) or JSON.
+in editors and CI logs), JSON, or SARIF.
+
+Two pass shapes exist. Per-file passes (:class:`AnalysisPass`) see one
+:class:`SourceFile` at a time. Project passes (:class:`ProjectPass`)
+see the whole analyzed file set at once and build on the dataflow
+toolkit (symbol table and call graph in
+:mod:`repro.analysis.project`, CFG and reaching definitions in
+:mod:`repro.analysis.cfg`) — that is how the wire-schema and taint
+families reason across files.
+
+Runs are incremental when given a cache path: raw emissions are keyed
+by file digest (and by a whole-set digest for project passes) so a
+warm run replays results without parsing — see
+:mod:`repro.analysis.cache`.
 
 Suppressions are line-level comments with a *required* justification::
 
     value = time.time()  # repro: suppress REPRO101 -- wall clock is the point here
 
 A suppression without a justification (or without a valid code) is
-itself a violation (``REPRO010``), so exemptions stay auditable.
+itself a violation (``REPRO010``), and a suppression that matches no
+finding is flagged as stale (``REPRO011``) so exemptions cannot
+outlive the code they excused. A suppression on any physical line of a
+multi-line statement also covers the statement's first line, where
+AST-anchored findings land.
 
 Entry points: ``repro analyze`` (CLI) and ``tools/analyze.py`` (CI).
 """
@@ -24,6 +41,7 @@ Entry points: ``repro analyze`` (CLI) and ``tools/analyze.py`` (CI).
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
@@ -31,6 +49,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
                     Set, Tuple, Union)
+
+from .cache import DEFAULT_CACHE_FILENAME, AnalysisCache
 
 #: Directories searched when ``Analyzer.run`` is given no paths.
 DEFAULT_ROOTS = ("src", "tests", "benchmarks", "tools")
@@ -50,9 +70,17 @@ _SUPPRESS_RE = re.compile(r"#\s*repro:\s*suppress\b(?P<rest>.*)$")
 #: Code of the engine-level "malformed suppression" rule.
 CODE_BAD_SUPPRESSION = "REPRO010"
 
+#: Code of the engine-level "stale suppression" rule: the comment
+#: matched no finding in this run, so it no longer excuses anything.
+CODE_UNUSED_SUPPRESSION = "REPRO011"
+
 #: Code of the "file does not parse" rule (shared with the format pass
 #: family, which documents it).
 CODE_SYNTAX_ERROR = "REPRO001"
+
+#: Bump to invalidate every incremental-cache entry when emission or
+#: suppression semantics change.
+ENGINE_CACHE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -77,12 +105,19 @@ class Violation:
         return (self.path, self.line, self.code)
 
 
-@dataclass
-class Suppression:
-    """One parsed ``# repro: suppress`` comment."""
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One parsed ``# repro: suppress`` comment.
+
+    ``line`` is the physical line of the comment; ``lines`` is every
+    line the suppression covers (the comment's line, plus the first
+    line of the enclosing logical statement when the comment sits on a
+    continuation line).
+    """
 
     line: int
-    codes: Set[str]
+    codes: frozenset
+    lines: Tuple[int, ...]
     justification: str
 
 
@@ -106,27 +141,41 @@ def module_name(path: Union[str, Path], root: Union[str, Path]) -> str:
     return ".".join(parts)
 
 
-def _comments(text: str) -> Iterator[Tuple[int, str]]:
-    """(line, comment text) for every real comment token in the source.
+def _comments(text: str) -> Iterator[Tuple[int, str, Optional[int]]]:
+    """(line, comment text, logical-statement start line) per comment.
 
     Tokenizing (rather than regexing lines) keeps suppression syntax
     inside string literals and docstrings from being parsed as live
-    suppressions. Unparsable files yield whatever tokenized cleanly.
+    suppressions, and lets a comment on a *continuation* line know
+    which line its logical statement started on. Unparsable files
+    yield whatever tokenized cleanly.
     """
+    statement_start: Optional[int] = None
+    skip = (tokenize.NL, tokenize.INDENT, tokenize.DEDENT,
+            tokenize.ENDMARKER)
     try:
         for token in tokenize.generate_tokens(io.StringIO(text).readline):
             if token.type == tokenize.COMMENT:
-                yield token.start[0], token.string
+                yield token.start[0], token.string, statement_start
+            elif token.type == tokenize.NEWLINE:
+                statement_start = None
+            elif token.type in skip:
+                continue
+            elif statement_start is None:
+                statement_start = token.start[0]
     except (tokenize.TokenError, IndentationError, SyntaxError):
         return
 
 
 def parse_suppressions(text: str) -> Tuple[
-        Dict[int, Set[str]], List[Tuple[int, str]]]:
-    """Extract per-line suppressed codes and malformed-comment problems."""
+        Dict[int, Set[str]], List[Tuple[int, str]],
+        List[SuppressionComment]]:
+    """Extract per-line suppressed codes, malformed-comment problems,
+    and the parsed comment records (for stale-suppression tracking)."""
     suppressed: Dict[int, Set[str]] = {}
     problems: List[Tuple[int, str]] = []
-    for number, comment in _comments(text):
+    comments: List[SuppressionComment] = []
+    for number, comment, statement_start in _comments(text):
         match = _SUPPRESS_RE.search(comment)
         if match is None:
             continue
@@ -148,8 +197,16 @@ def parse_suppressions(text: str) -> Tuple[
                 (number, "suppression lacks a justification; write "
                          "'# repro: suppress REPRO### -- why this is ok'"))
             continue
-        suppressed.setdefault(number, set()).update(codes)
-    return suppressed, problems
+        covered = {number}
+        if statement_start is not None:
+            covered.add(statement_start)
+        for line in covered:
+            suppressed.setdefault(line, set()).update(codes)
+        comments.append(SuppressionComment(
+            line=number, codes=frozenset(codes),
+            lines=tuple(sorted(covered)),
+            justification=justification.strip()))
+    return suppressed, problems, comments
 
 
 class SourceFile:
@@ -180,8 +237,8 @@ class SourceFile:
             self.tree = ast.parse(text, filename=str(self.path))
         except SyntaxError as error:
             self.syntax_error = error
-        self.suppressions, self.suppression_problems = \
-            parse_suppressions(text)
+        self.suppressions, self.suppression_problems, \
+            self.suppression_comments = parse_suppressions(text)
 
     def is_suppressed(self, line: int, code: str) -> bool:
         return code in self.suppressions.get(line, ())
@@ -193,7 +250,8 @@ class AnalysisContext:
 
     ``root`` locates repo-level resources (e.g. the documented metric
     namespace in ``docs/OBSERVABILITY.md``); ``cache`` lets passes
-    memoise expensive lookups across files.
+    memoise expensive lookups across files (including the shared
+    :class:`~repro.analysis.project.ProjectModel`).
     """
 
     root: Path
@@ -208,12 +266,20 @@ class AnalysisPass:
     pass applies to (empty = every file). :meth:`check` yields
     ``(line, code, message)`` triples; the engine attaches path and
     pass name and applies suppressions.
+
+    ``version`` salts the incremental cache — bump it whenever the
+    pass's behaviour changes, or stale cached results will replay.
+    ``inputs`` lists repo-relative non-Python files whose content the
+    pass depends on (they are hashed into the cache salt too).
     """
 
     name = "abstract"
     codes: Dict[str, str] = {}
     scope: Tuple[str, ...] = ()
     requires_ast = True
+    project = False
+    version = 1
+    inputs: Tuple[str, ...] = ()
 
     def applies_to(self, source: SourceFile) -> bool:
         if not self.scope:
@@ -227,6 +293,27 @@ class AnalysisPass:
         raise NotImplementedError
 
 
+class ProjectPass(AnalysisPass):
+    """A pass that sees every in-scope file of the run at once.
+
+    :meth:`check_project` receives the full applicable
+    :class:`SourceFile` list and yields
+    ``(source, line, code, message)`` — one extra element compared to
+    per-file passes, because a project finding can land in any file.
+    """
+
+    project = True
+
+    def check(self, source: SourceFile,
+              context: AnalysisContext) -> Iterator[Tuple[int, str, str]]:
+        raise NotImplementedError("project passes implement check_project")
+
+    def check_project(self, sources: Sequence[SourceFile],
+                      context: AnalysisContext
+                      ) -> Iterator[Tuple[SourceFile, int, str, str]]:
+        raise NotImplementedError
+
+
 @dataclass
 class AnalysisReport:
     """Outcome of one analyzer run."""
@@ -235,6 +322,7 @@ class AnalysisReport:
     files_checked: int = 0
     violations: List[Violation] = field(default_factory=list)
     suppressed: int = 0
+    files_reparsed: int = 0
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -257,14 +345,36 @@ def _split_codes(value: Union[None, str, Iterable[str]]) -> Optional[Set[str]]:
     return codes or None
 
 
+@dataclass
+class _FileRecord:
+    """One file's replayable run state: emissions + suppression tables."""
+
+    path: Path
+    display: str
+    digest: str
+    emissions: List[Tuple[int, str, str, str]]
+    suppressed: Dict[int, Set[str]]
+    comments: List[SuppressionComment]
+    source: Optional[SourceFile]
+    raw: bytes
+
+
 class Analyzer:
-    """Runs a set of passes over a file tree, one parse per file."""
+    """Runs a set of passes over a file tree, one parse per file.
+
+    With ``cache_path`` set, raw emissions are persisted per file
+    digest and replayed on warm runs without re-parsing; project-pass
+    results are keyed by a digest over the whole analyzed set. The
+    cache invalidates itself when any pass's ``version``/``codes`` or
+    declared ``inputs`` files change.
+    """
 
     def __init__(self, root: Union[str, Path] = ".", *,
                  passes: Optional[Sequence[AnalysisPass]] = None,
                  select: Union[None, str, Iterable[str]] = None,
                  ignore: Union[None, str, Iterable[str]] = None,
-                 exclude: Sequence[str] = DEFAULT_EXCLUDES) -> None:
+                 exclude: Sequence[str] = DEFAULT_EXCLUDES,
+                 cache_path: Union[None, str, Path] = None) -> None:
         if passes is None:
             from .passes import builtin_passes
             passes = builtin_passes()
@@ -273,6 +383,12 @@ class Analyzer:
         self.select = _split_codes(select)
         self.ignore = _split_codes(ignore) or set()
         self.exclude = tuple(exclude)
+        self.cache: Optional[AnalysisCache] = None
+        if cache_path is not None:
+            cache_path = Path(cache_path)
+            if cache_path.is_dir():
+                cache_path = cache_path / DEFAULT_CACHE_FILENAME
+            self.cache = AnalysisCache(cache_path, self._cache_salt())
 
     # -- file discovery ------------------------------------------------------
 
@@ -313,39 +429,181 @@ class Analyzer:
             return False
         return self.select is None or code in self.select
 
+    # -- cache plumbing ------------------------------------------------------
+
+    def _cache_salt(self) -> str:
+        parts = [f"engine:{ENGINE_CACHE_VERSION}"]
+        for analysis_pass in self.passes:
+            parts.append("pass:%s:%s:%s" % (
+                analysis_pass.name, analysis_pass.version,
+                ",".join(sorted(analysis_pass.codes))))
+            for rel in analysis_pass.inputs:
+                target = self.root / rel
+                try:
+                    digest = hashlib.sha256(target.read_bytes()).hexdigest()
+                except OSError:
+                    digest = "absent"
+                parts.append(f"input:{rel}:{digest}")
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+    def _display(self, path: Path) -> str:
+        try:
+            return str(path.resolve().relative_to(self.root.resolve()))
+        except ValueError:
+            return str(path)
+
     # -- the run -------------------------------------------------------------
 
     def run(self, paths: Optional[Sequence[Union[str, Path]]] = None
             ) -> AnalysisReport:
         context = AnalysisContext(root=self.root)
         report = AnalysisReport(root=str(self.root))
+        per_file = [p for p in self.passes if not p.project]
+        project_passes = [p for p in self.passes if p.project]
+
+        records: List[_FileRecord] = []
+        seen: Set[str] = set()
         for path in self.python_files(paths):
+            raw = path.read_bytes()
+            digest = hashlib.sha256(raw).hexdigest()
+            display = self._display(path)
+            if display in seen:
+                continue
+            seen.add(display)
+            entry = self.cache.lookup(display, digest) if self.cache else None
+            if entry is not None:
+                records.append(_FileRecord(
+                    path=path, display=display, digest=digest,
+                    emissions=[tuple(e) for e in entry["emissions"]],
+                    suppressed={int(line): set(codes) for line, codes
+                                in entry["suppressed"].items()},
+                    comments=[SuppressionComment(
+                        line=item[0], codes=frozenset(item[1]),
+                        lines=tuple(item[2]), justification=item[3])
+                        for item in entry["comments"]],
+                    source=None, raw=raw))
+                continue
+            source = SourceFile(path, self.root, text=raw.decode("utf-8"))
+            report.files_reparsed += 1
+            emissions = self._per_file_emissions(source, per_file, context)
+            records.append(_FileRecord(
+                path=path, display=source.display, digest=digest,
+                emissions=emissions, suppressed=source.suppressions,
+                comments=source.suppression_comments, source=source,
+                raw=raw))
+            if self.cache:
+                self.cache.store(
+                    source.display, digest, emissions, source.suppressions,
+                    [(c.line, sorted(c.codes), list(c.lines),
+                      c.justification) for c in source.suppression_comments])
+
+        project_emissions = self._project_emissions(
+            records, project_passes, context, report)
+
+        # Replay every emission through filtering + suppression, and
+        # track which suppression comments actually fired.
+        used: Set[Tuple[str, int]] = set()
+        by_display = {record.display: record for record in records}
+
+        def emit(record: _FileRecord, line: int, code: str, message: str,
+                 pass_name: str) -> None:
+            if not self._wanted(code):
+                return
+            if code in record.suppressed.get(line, ()):
+                report.suppressed += 1
+                for comment in record.comments:
+                    if line in comment.lines and code in comment.codes:
+                        used.add((record.display, comment.line))
+                return
+            report.violations.append(Violation(
+                path=record.display, line=line, code=code,
+                message=message, pass_name=pass_name))
+
+        for record in records:
             report.files_checked += 1
-            self.check_source(SourceFile(path, self.root), context, report)
+            for line, code, message, pass_name in record.emissions:
+                emit(record, line, code, message, pass_name)
+        for display, line, code, message, pass_name in project_emissions:
+            record = by_display.get(display)
+            if record is not None:
+                emit(record, line, code, message, pass_name)
+
+        # Stale suppressions: only meaningful when every rule ran.
+        if self.select is None:
+            for record in records:
+                for comment in record.comments:
+                    if (record.display, comment.line) in used:
+                        continue
+                    if CODE_UNUSED_SUPPRESSION in comment.codes:
+                        continue
+                    if comment.codes <= self.ignore:
+                        continue
+                    emit(record, comment.line, CODE_UNUSED_SUPPRESSION,
+                         "suppression for "
+                         f"{', '.join(sorted(comment.codes))} matched no "
+                         "finding; remove the stale comment", "suppress")
+
+        if self.cache:
+            self.cache.prune(seen)
+            self.cache.save()
         report.violations.sort(key=lambda violation: violation.sort_key)
         return report
 
-    def check_source(self, source: SourceFile, context: AnalysisContext,
-                     report: AnalysisReport) -> None:
-        def emit(line: int, code: str, message: str, pass_name: str) -> None:
-            if not self._wanted(code):
-                return
-            if source.is_suppressed(line, code):
-                report.suppressed += 1
-                return
-            report.violations.append(Violation(
-                path=source.display, line=line, code=code,
-                message=message, pass_name=pass_name))
-
+    def _per_file_emissions(self, source: SourceFile,
+                            passes: Sequence[AnalysisPass],
+                            context: AnalysisContext
+                            ) -> List[Tuple[int, str, str, str]]:
+        emissions: List[Tuple[int, str, str, str]] = []
         for line, message in source.suppression_problems:
-            emit(line, CODE_BAD_SUPPRESSION, message, "suppress")
+            emissions.append((line, CODE_BAD_SUPPRESSION, message,
+                              "suppress"))
         if source.syntax_error is not None:
-            emit(source.syntax_error.lineno or 0, CODE_SYNTAX_ERROR,
-                 f"syntax error: {source.syntax_error.msg}", "format")
-        for analysis_pass in self.passes:
+            emissions.append((source.syntax_error.lineno or 0,
+                              CODE_SYNTAX_ERROR,
+                              f"syntax error: {source.syntax_error.msg}",
+                              "format"))
+        for analysis_pass in passes:
             if not analysis_pass.applies_to(source):
                 continue
             if analysis_pass.requires_ast and source.tree is None:
                 continue
             for line, code, message in analysis_pass.check(source, context):
-                emit(line, code, message, analysis_pass.name)
+                emissions.append((line, code, message, analysis_pass.name))
+        return emissions
+
+    def _project_emissions(self, records: List[_FileRecord],
+                           project_passes: Sequence[AnalysisPass],
+                           context: AnalysisContext,
+                           report: AnalysisReport
+                           ) -> List[Tuple[str, int, str, str, str]]:
+        if not project_passes:
+            return []
+        joined = "\n".join(f"{record.display}\x00{record.digest}"
+                           for record in records)
+        project_digest = hashlib.sha256(joined.encode("utf-8")).hexdigest()
+        if self.cache:
+            cached = self.cache.project_lookup(project_digest)
+            if cached is not None:
+                return [tuple(emission) for emission in cached]
+        for record in records:
+            if record.source is None:
+                record.source = SourceFile(
+                    record.path, self.root,
+                    text=record.raw.decode("utf-8"))
+                report.files_reparsed += 1
+        sources = [record.source for record in records
+                   if record.source is not None]
+        emissions: List[Tuple[str, int, str, str, str]] = []
+        for analysis_pass in project_passes:
+            applicable = [
+                source for source in sources
+                if analysis_pass.applies_to(source)
+                and (source.tree is not None
+                     or not analysis_pass.requires_ast)]
+            for source, line, code, message in \
+                    analysis_pass.check_project(applicable, context):
+                emissions.append((source.display, line, code, message,
+                                  analysis_pass.name))
+        if self.cache:
+            self.cache.project_store(project_digest, emissions)
+        return emissions

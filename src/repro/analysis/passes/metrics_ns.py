@@ -8,9 +8,20 @@ prefixes, so a metric registered under an undocumented prefix is
 invisible to every consumer that matters. This pass cross-checks every
 *literal* instrument name passed to ``counter()``/``gauge()``/
 ``histogram()`` (and every literal ``metrics_prefix=`` argument)
-against the prefixes parsed from the doc's namespace table. Names built
-at runtime (f-strings over a prefix variable) are out of static reach
-and are trusted to inherit a checked prefix.
+against the prefixes parsed from the doc's namespace table.
+
+Dynamic names used to be a silent blind spot: ``counter(name)`` where
+``name`` was computed sailed past the literal check. ``REPRO402``
+closes it in three steps. First, names the pass *can* resolve are
+resolved and checked as if literal: a loop variable bound by
+``for name in ("a.b", "a.c"):`` expands to its literal values, a local
+``name = "a.b"`` assignment resolves directly, and an f-string with a
+literal documented-prefix head (``f"exec.cache.{label}"``) inherits
+the head's verdict. Only what remains — a name genuinely out of static
+reach — is flagged as the advisory ``REPRO402``, asking for a literal,
+a resolvable shape, or a suppression naming where the value is
+validated. ``repro.obs.registry`` itself is exempt: it is the
+re-registration plumbing every already-checked name flows through.
 """
 
 from __future__ import annotations
@@ -18,7 +29,7 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..engine import AnalysisContext, AnalysisPass, SourceFile
 
@@ -33,7 +44,7 @@ _PREFIX_KEYWORDS = frozenset({"metrics_prefix"})
 DEFAULT_PREFIXES = (
     "mem.nvm", "mem.channel", "mem.ctrl", "mem.device", "mem.dram",
     "cache.counter", "cache.l1", "cache.l2", "cache.l3", "cache.l4",
-    "cache.hierarchy", "core.shredder", "kernel", "cpu",
+    "cache.hierarchy", "core.shredder", "kernel", "cpu", "sim.engine",
     "exec.batch", "exec.task", "exec.cache", "exec.dist", "exec.worker",
     "exec.cluster", "obs.events",
 )
@@ -87,6 +98,65 @@ def _allowed(name: str, prefixes: Tuple[str, ...]) -> bool:
                for prefix in prefixes)
 
 
+def _literal_bindings(tree: ast.Module) -> Dict[str, Set[str]]:
+    """Flow-insensitive name → possible literal string values.
+
+    Covers ``for name in ("a.b", "a.c"):`` (including tuple targets
+    over tuple-of-tuple literals) and plain ``name = "a.b"``
+    assignments. A name also bound to anything non-literal resolves to
+    nothing (dropped), so partial knowledge never vouches for a value
+    the pass cannot see.
+    """
+    bindings: Dict[str, Set[str]] = {}
+    poisoned: Set[str] = set()
+
+    def _bind(name: str, value: Optional[str]) -> None:
+        if value is None:
+            poisoned.add(name)
+        else:
+            bindings.setdefault(name, set()).add(value)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) \
+                and isinstance(node.iter, (ast.Tuple, ast.List)):
+            if isinstance(node.target, ast.Name):
+                for element in node.iter.elts:
+                    _bind(node.target.id,
+                          element.value
+                          if isinstance(element, ast.Constant)
+                          and isinstance(element.value, str) else None)
+            elif isinstance(node.target, ast.Tuple) \
+                    and all(isinstance(t, ast.Name)
+                            for t in node.target.elts):
+                names = [t.id for t in node.target.elts]
+                for element in node.iter.elts:
+                    row = element.elts \
+                        if isinstance(element, (ast.Tuple, ast.List)) \
+                        and len(element.elts) == len(names) else None
+                    for position, name in enumerate(names):
+                        cell = row[position] if row else None
+                        _bind(name,
+                              cell.value if isinstance(cell, ast.Constant)
+                              and isinstance(cell.value, str) else None)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            _bind(node.targets[0].id,
+                  node.value.value if isinstance(node.value, ast.Constant)
+                  and isinstance(node.value.value, str) else None)
+    for name in poisoned:
+        bindings.pop(name, None)
+    return bindings
+
+
+def _fstring_head(node: ast.JoinedStr) -> Optional[str]:
+    """The literal prefix of an f-string, up to its last dot."""
+    if not node.values or not isinstance(node.values[0], ast.Constant) \
+            or not isinstance(node.values[0].value, str):
+        return None
+    head, dot, _ = node.values[0].value.rpartition(".")
+    return head if dot else None
+
+
 class MetricsNamespacePass(AnalysisPass):
     """Literal metric registrations must sit in the documented tree."""
 
@@ -94,8 +164,18 @@ class MetricsNamespacePass(AnalysisPass):
     codes = {
         "REPRO401": "metric name outside the namespace documented in "
                     "docs/OBSERVABILITY.md",
+        "REPRO402": "metric name not statically resolvable (advisory: "
+                    "use a literal, a resolvable loop/assignment, or a "
+                    "documented-prefix f-string head)",
     }
     scope = ("repro",)
+    version = 2
+    #: Editing the namespace table must invalidate cached results.
+    inputs = ("docs/OBSERVABILITY.md",)
+
+    #: The registry is the plumbing already-validated names flow
+    #: through on re-registration; its pass-through calls are exempt.
+    exempt_modules = frozenset({"repro.obs.registry"})
 
     def _prefixes(self, context: AnalysisContext) -> Tuple[str, ...]:
         cached = context.cache.get("metrics.prefixes")
@@ -108,6 +188,8 @@ class MetricsNamespacePass(AnalysisPass):
               context: AnalysisContext) -> Iterator[Tuple[int, str, str]]:
         assert source.tree is not None
         prefixes = self._prefixes(context)
+        exempt = source.module in self.exempt_modules
+        bindings = None if exempt else _literal_bindings(source.tree)
         for node in ast.walk(source.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -115,13 +197,17 @@ class MetricsNamespacePass(AnalysisPass):
                     and node.func.attr in _REGISTER_METHODS and node.args:
                 first = node.args[0]
                 if isinstance(first, ast.Constant) \
-                        and isinstance(first.value, str) \
-                        and "." in first.value \
-                        and not _allowed(first.value, prefixes):
-                    yield (node.lineno, "REPRO401",
-                           f"metric {first.value!r} is not under any "
-                           "documented prefix; extend the namespace "
-                           "table in docs/OBSERVABILITY.md or rename")
+                        and isinstance(first.value, str):
+                    if "." in first.value \
+                            and not _allowed(first.value, prefixes):
+                        yield (node.lineno, "REPRO401",
+                               f"metric {first.value!r} is not under any "
+                               "documented prefix; extend the namespace "
+                               "table in docs/OBSERVABILITY.md or rename")
+                elif not exempt:
+                    for finding in self._dynamic_name(first, bindings,
+                                                      prefixes):
+                        yield finding
             for keyword in node.keywords:
                 if keyword.arg in _PREFIX_KEYWORDS \
                         and isinstance(keyword.value, ast.Constant) \
@@ -130,3 +216,46 @@ class MetricsNamespacePass(AnalysisPass):
                     yield (keyword.value.lineno, "REPRO401",
                            f"metrics prefix {keyword.value.value!r} is "
                            "not in the documented namespace table")
+
+    @staticmethod
+    def _dynamic_name(first: ast.expr,
+                      bindings: Dict[str, Set[str]],
+                      prefixes: Tuple[str, ...]
+                      ) -> Iterator[Tuple[int, str, str]]:
+        """Resolve a non-literal metric name, or flag it as REPRO402."""
+        if isinstance(first, ast.Name) and first.id in bindings:
+            for value in sorted(bindings[first.id]):
+                if "." in value and not _allowed(value, prefixes):
+                    yield (first.lineno, "REPRO401",
+                           f"metric {value!r} (via {first.id!r}) is not "
+                           "under any documented prefix; extend the "
+                           "namespace table in docs/OBSERVABILITY.md "
+                           "or rename")
+            return
+        if isinstance(first, ast.JoinedStr):
+            head = _fstring_head(first)
+            if head is not None and _allowed(head, prefixes):
+                return
+            # f"{prefix}.rest" where every possible value of `prefix`
+            # is a resolvable literal: check each as the name's head.
+            lead = first.values[0] if first.values else None
+            if isinstance(lead, ast.FormattedValue) \
+                    and isinstance(lead.value, ast.Name) \
+                    and lead.value.id in bindings:
+                for value in sorted(bindings[lead.value.id]):
+                    if not _allowed(value, prefixes):
+                        yield (first.lineno, "REPRO401",
+                               f"metric prefix {value!r} (via "
+                               f"{lead.value.id!r}) is not under any "
+                               "documented prefix; extend the namespace "
+                               "table in docs/OBSERVABILITY.md or rename")
+                return
+            yield (first.lineno, "REPRO402",
+                   "f-string metric name without a documented-prefix "
+                   "literal head; start the name with a documented "
+                   "prefix or register a literal")
+            return
+        yield (first.lineno, "REPRO402",
+               "metric name is not statically resolvable; use a "
+               "literal, a loop over literal names, or suppress with "
+               "a note on where the name is validated")

@@ -1,10 +1,12 @@
-"""Reporters for analyzer runs: clickable text and schema'd JSON.
+"""Reporters for analyzer runs: clickable text, schema'd JSON, SARIF.
 
 The text reporter prints one ``path:line: CODE message`` line per
 violation (the grep/editor/CI-log convention ``tools/lint.py`` always
 used) plus a one-line summary. The JSON reporter emits a versioned
 document that round-trips through :func:`report_from_json`, so other
-tools can consume analyzer output without scraping text.
+tools can consume analyzer output without scraping text. The SARIF
+reporter emits a SARIF 2.1.0 log for code-scanning upload, so CI
+findings land as inline PR annotations.
 """
 
 from __future__ import annotations
@@ -15,6 +17,14 @@ from .engine import AnalysisReport, Violation
 
 #: Version stamp of the JSON report schema.
 JSON_REPORT_VERSION = 1
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA = ("https://json.schemastore.org/sarif-2.1.0.json")
+
+#: Advisory rules map to SARIF "warning"; everything else is "error".
+_ADVISORY_CODES = frozenset({"REPRO011", "REPRO402", "REPRO602"})
 
 
 def render_text(report: AnalysisReport) -> str:
@@ -42,6 +52,61 @@ def render_json(report: AnalysisReport) -> Dict[str, Any]:
         "counts": report.counts,
         "violations": [violation.to_dict()
                        for violation in report.violations],
+    }
+
+
+def render_sarif(report: AnalysisReport) -> Dict[str, Any]:
+    """The report as a SARIF 2.1.0 log (GitHub code-scanning shape).
+
+    Rule metadata comes from the live catalog; paths are emitted as
+    repo-relative URIs, which is what the upload action expects when
+    the analyzer ran from the repository root.
+    """
+    from .passes import rule_catalog
+    catalog = rule_catalog()
+    used = sorted({violation.code for violation in report.violations})
+    rules = []
+    for code in used:
+        entry = catalog.get(code, {})
+        rules.append({
+            "id": code,
+            "name": code,
+            "shortDescription": {
+                "text": entry.get("summary", "repro analyzer rule")},
+            "properties": {"family": entry.get("pass", "?")},
+            "defaultConfiguration": {
+                "level": "warning" if code in _ADVISORY_CODES else "error"},
+        })
+    results = []
+    for violation in report.violations:
+        results.append({
+            "ruleId": violation.code,
+            "level": "warning" if violation.code in _ADVISORY_CODES
+                     else "error",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, violation.line)},
+                },
+            }],
+        })
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-analyze",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
     }
 
 

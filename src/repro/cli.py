@@ -528,28 +528,82 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_displays(root: str) -> Optional[List[str]]:
+    """Repo-relative ``.py`` paths changed vs. HEAD (plus untracked).
+
+    Returns ``None`` when git is unavailable or the root is not a work
+    tree — the caller turns that into the internal-error exit code.
+    """
+    import subprocess
+    changed: List[str] = []
+    for extra in (["diff", "--name-only", "HEAD"],
+                  ["ls-files", "--others", "--exclude-standard"]):
+        try:
+            proc = subprocess.run(
+                ["git", "-C", root] + extra, capture_output=True,
+                text=True, timeout=30, check=True)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        changed.extend(line.strip() for line in proc.stdout.splitlines()
+                       if line.strip())
+    return sorted({path for path in changed if path.endswith(".py")})
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Exit 0 clean, 1 violations, 2 internal/usage error."""
     import json
 
-    from .analysis import Analyzer, render_json, render_text, rule_catalog
+    from .analysis import (Analyzer, render_json, render_sarif, render_text,
+                           rule_catalog)
     if args.list_rules:
         for code, entry in rule_catalog().items():
             print(f"{code}  [{entry['pass']}]  {entry['summary']}")
         return 0
-    if args.import_graph:
-        from .analysis.passes.layering import render_import_graph
-        analyzer = Analyzer(args.root, select=args.select, ignore=args.ignore)
-        sys.stdout.write(render_import_graph(analyzer.source_files(args.paths
-                                                                   or None),
-                                             fmt=args.import_graph))
-        return 0
-    analyzer = Analyzer(args.root, select=args.select, ignore=args.ignore)
-    report = analyzer.run(args.paths or None)
+    cache_path = None if args.no_cache else args.root
+    try:
+        if args.import_graph:
+            from .analysis.passes.layering import render_import_graph
+            analyzer = Analyzer(args.root, select=args.select,
+                                ignore=args.ignore)
+            sys.stdout.write(
+                render_import_graph(analyzer.source_files(args.paths or None),
+                                    fmt=args.import_graph))
+            return 0
+        changed: Optional[List[str]] = None
+        if args.changed:
+            changed = _changed_displays(args.root)
+            if changed is None:
+                print("analyze: --changed needs git and a work tree at "
+                      f"{args.root!r}", file=sys.stderr)
+                return 2
+            if not changed:
+                print("analyze: no changed .py files")
+                return 0
+        analyzer = Analyzer(args.root, select=args.select,
+                            ignore=args.ignore, cache_path=cache_path)
+        report = analyzer.run(args.paths or None)
+        if changed is not None:
+            # Full (cache-backed) run for whole-project soundness, then
+            # scope the *reported* findings to the changed files.
+            scope = set(changed)
+            report.violations = [violation for violation in report.violations
+                                 if violation.path in scope]
+    except Exception as error:  # internal error, not a finding
+        print(f"analyze: internal error: {error}", file=sys.stderr)
+        return 2
     if args.format == "json":
-        json.dump(render_json(report), sys.stdout, indent=2, sort_keys=True)
-        sys.stdout.write("\n")
+        rendered = json.dumps(render_json(report), indent=2,
+                              sort_keys=True) + "\n"
+    elif args.format == "sarif":
+        rendered = json.dumps(render_sarif(report), indent=2,
+                              sort_keys=True) + "\n"
     else:
-        print(render_text(report))
+        rendered = render_text(report) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(rendered)
+    else:
+        sys.stdout.write(rendered)
     return 0 if report.ok else 1
 
 
@@ -957,10 +1011,21 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--root", default=".",
                          help="repository root for module names, docs "
                               "lookups, and default paths (default: .)")
-    analyze.add_argument("--format", choices=("text", "json"),
+    analyze.add_argument("--format", choices=("text", "json", "sarif"),
                          default="text",
                          help="report format (default: text, one clickable "
-                              "path:line per violation)")
+                              "path:line per violation; sarif emits a "
+                              "2.1.0 log for code-scanning upload)")
+    analyze.add_argument("--output", default=None, metavar="FILE",
+                         help="write the report to FILE instead of stdout")
+    analyze.add_argument("--changed", action="store_true",
+                         help="report only findings in files changed vs. "
+                              "git HEAD (the run itself stays whole-"
+                              "project, served from the incremental "
+                              "cache)")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="disable the incremental result cache "
+                              "(.repro-analysis-cache.json under --root)")
     analyze.add_argument("--select", default=None, metavar="CODES",
                          help="only enforce these comma-separated REPRO### "
                               "codes")

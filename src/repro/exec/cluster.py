@@ -65,9 +65,9 @@ from .experiment import Experiment
 from .wire import (HEADER_BYTES, MSG_BATCH_DONE, MSG_DRAIN, MSG_DRAINED,
                    MSG_ERROR, MSG_GOODBYE, MSG_HELLO, MSG_NOTICE, MSG_OK,
                    MSG_PING, MSG_PONG, MSG_RESULT, MSG_RUN, MSG_SHUTDOWN,
-                   MSG_STATUS, MSG_SUBMIT, MSG_WELCOME, FrameAuth,
-                   decode_payload, encode_frame, hello_message, recv_message,
-                   send_message, unpack_length)
+                   MSG_STATUS, MSG_SUBMIT, MSG_WELCOME, PROTO_VERSION,
+                   FrameAuth, decode_payload, encode_frame, hello_message,
+                   recv_message, send_message, unpack_length)
 
 #: How long a connecting peer has to present its ``hello`` frame.
 HANDSHAKE_TIMEOUT = 10.0
@@ -411,6 +411,16 @@ class ClusterDispatcher:
         if hello.get("type") != MSG_HELLO:
             self._write(writer, {"type": MSG_ERROR,
                                  "error": "expected a hello frame",
+                                 "kind": "ClusterError"})
+            writer.close()
+            return
+        # Absent means a pre-versioning peer, which speaks generation 1.
+        proto = hello.get("proto", PROTO_VERSION)
+        if proto != PROTO_VERSION:
+            self._write(writer, {"type": MSG_ERROR,
+                                 "error": f"unsupported protocol version "
+                                          f"{proto!r} (dispatcher speaks "
+                                          f"{PROTO_VERSION})",
                                  "kind": "ClusterError"})
             writer.close()
             return
@@ -1030,7 +1040,8 @@ class ClusterBackend(ExecutionBackend):
             documents = [experiment.to_dict() for experiment in experiments]
             # The batch's trace context rides the submit frame so
             # dispatcher and worker spans land in this client's trace.
-            send_message(sock, {"type": MSG_SUBMIT, "batch": "b0",
+            batch_id = "b0"
+            send_message(sock, {"type": MSG_SUBMIT, "batch": batch_id,
                                 "experiments": documents,
                                 "trace": default_tracer().context().to_dict()},
                          auth=self.auth)
@@ -1038,6 +1049,13 @@ class ClusterBackend(ExecutionBackend):
             while remaining:
                 message = self._recv(sock)
                 kind = message.get("type")
+                # Every dispatcher frame echoes the batch tag; a
+                # mismatch means crossed sessions, not a task failure.
+                tag = message.get("batch")
+                if tag is not None and tag != batch_id:
+                    raise ClusterError(
+                        f"frame for unknown batch {tag!r} "
+                        f"(this session submitted {batch_id!r})")
                 if kind == MSG_RESULT:
                     spans = message.get("spans")
                     if isinstance(spans, list) and spans:

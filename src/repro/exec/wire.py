@@ -95,6 +95,11 @@ AUTH_TAG_BYTES = 32
 #: Minimum usable shared-key length (bytes) for :class:`FrameAuth`.
 MIN_KEY_BYTES = 16
 
+#: Wire-protocol generation, carried in every ``hello`` frame and
+#: validated by the dispatcher before the session proceeds. Bump on any
+#: incompatible change to the frame vocabulary or field shapes.
+PROTO_VERSION = 1
+
 MSG_RUN = "run"
 MSG_RESULT = "result"
 MSG_ERROR = "error"
@@ -310,7 +315,7 @@ def error_reply(error: BaseException) -> Dict[str, Any]:
 
 
 def hello_message(role: str, name: str, *, weight: int = 1,
-                  proto: int = 1) -> Dict[str, Any]:
+                  proto: int = PROTO_VERSION) -> Dict[str, Any]:
     """The session-opening frame on a cluster connection."""
     return {"type": MSG_HELLO, "role": role, "name": name,
             "weight": int(weight), "proto": int(proto)}

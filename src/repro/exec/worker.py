@@ -159,8 +159,12 @@ class WorkerServer:
             self.tasks_served += 1
             self._reply(connection, self._run(request))
         elif kind == MSG_PING:
-            self._reply(connection, {"type": MSG_PONG,
-                                     "tasks_served": self.tasks_served})
+            # Humans (and the wire tests) probing a standalone worker
+            # read the served count; no in-tree peer consumes it.
+            self._reply(connection, {
+                "type": MSG_PONG,
+                "tasks_served": self.tasks_served,  # repro: suppress REPRO602 -- operator probe
+            })
         elif kind == MSG_SHUTDOWN:
             self._reply(connection, {"type": MSG_OK})
             self._shutdown = True
@@ -356,7 +360,8 @@ def run_registered_worker(dispatcher: Union[str, Tuple[str, int]], *,
             handshake_failures = 0
             if announce is not None:
                 announce(f"registered with {address[0]}:{address[1]} "
-                         f"as {worker_name}")
+                         f"as {worker_name} "
+                         f"(session {welcome.get('id', '?')})")
             sock.settimeout(heartbeat)
             while True:
                 try:

@@ -279,13 +279,12 @@ class System:
             float(len(self.machine.controller.counter_cache)))
 
         hierarchy = self.machine.hierarchy
-        levels = {
-            "cache.l1": hierarchy.l1,
-            "cache.l2": hierarchy.l2,
-            "cache.l3": [hierarchy.l3],
-            "cache.l4": [hierarchy.l4],
-        }
-        for prefix, caches in levels.items():
+        # Literal (prefix, caches) pairs so the metrics-namespace pass
+        # can resolve every registered name statically (REPRO402).
+        for prefix, caches in (("cache.l1", hierarchy.l1),
+                               ("cache.l2", hierarchy.l2),
+                               ("cache.l3", [hierarchy.l3]),
+                               ("cache.l4", [hierarchy.l4])):
             for field_name in ("hits", "misses", "evictions"):
                 total = sum(getattr(c.stats, field_name) for c in caches)
                 registry.counter(f"{prefix}.{field_name}",

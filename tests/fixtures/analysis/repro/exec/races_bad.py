@@ -1,0 +1,34 @@
+"""Known-bad fixture for the races family (REPRO511, REPRO512)."""
+
+import threading
+
+
+class Tracker:
+    """``_items`` is lock-guarded at 2 of 3 write sites."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def merge(self, other):
+        with self._lock:
+            self._items.extend(other)
+
+    def reset(self):
+        self._items = []
+
+
+class Pump:
+    """Awaits while holding a synchronous lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = []
+
+    async def drain(self, sink):
+        with self._lock:
+            await sink.send(self._queue)

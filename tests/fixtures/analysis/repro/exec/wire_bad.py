@@ -1,0 +1,38 @@
+"""Known-bad fixture for the wire family (REPRO601/602/603).
+
+Self-contained frame universe: its own ``MSG_*`` vocabulary and
+receive seam, so the completeness gate treats this single file as the
+whole protocol.
+"""
+
+MSG_PING = "ping"
+MSG_PONG = "pong"
+
+
+def recv_message(stream):
+    return {"type": MSG_PING}
+
+
+def make_ping(seq):
+    return {"type": MSG_PING, "seq": int(seq),
+            "stamp": 1.5}
+
+
+def make_pong(seq):
+    return {"type": MSG_PONG, "seq": int(seq)}
+
+
+def make_pong_str(seq):
+    return {"type": MSG_PONG, "seq": str(seq)}
+
+
+def serve(stream):
+    frame = recv_message(stream)
+    kind = frame.get("type")
+    if kind == MSG_PING:
+        seq = frame.get("seq")
+        token = frame.get("token")
+        return make_pong(seq), token
+    if kind == MSG_PONG:
+        return frame.get("seq"), None
+    return None, None

@@ -1,0 +1,33 @@
+"""Suppressed twin of ``wire_bad.py`` — must analyze clean."""
+
+MSG_PING = "ping"
+MSG_PONG = "pong"
+
+
+def recv_message(stream):
+    return {"type": MSG_PING}
+
+
+def make_ping(seq):
+    return {"type": MSG_PING, "seq": int(seq),
+            "stamp": 1.5}  # repro: suppress REPRO602 -- read by out-of-tree probes
+
+
+def make_pong(seq):
+    return {"type": MSG_PONG, "seq": int(seq)}
+
+
+def make_pong_str(seq):
+    return {"type": MSG_PONG, "seq": str(seq)}  # repro: suppress REPRO603 -- legacy peers expect text
+
+
+def serve(stream):
+    frame = recv_message(stream)
+    kind = frame.get("type")
+    if kind == MSG_PING:
+        seq = frame.get("seq")
+        token = frame.get("token")  # repro: suppress REPRO601 -- optional extension field
+        return make_pong(seq), token
+    if kind == MSG_PONG:
+        return frame.get("seq"), None
+    return None, None

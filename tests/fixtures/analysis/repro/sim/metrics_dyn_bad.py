@@ -1,0 +1,12 @@
+"""Known-bad fixture for dynamic metric names (REPRO401 via
+resolution, REPRO402 for the genuinely unresolvable)."""
+
+
+def publish(registry, label):
+    # Resolvable loop: one documented name, one drifted name.
+    for name in ("cache.l1.hits", "bogus.prefix.count"):
+        registry.counter(name)
+    # Out of static reach: concatenation over a runtime value.
+    registry.counter("exec." + label)
+    # f-string whose head is not a documented prefix.
+    registry.counter(f"{label}.count")

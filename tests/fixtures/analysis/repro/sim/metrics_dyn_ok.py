@@ -1,0 +1,11 @@
+"""Suppressed/resolvable twin of ``metrics_dyn_bad.py`` — clean."""
+
+
+def publish(registry, label):
+    # Fully resolvable, fully documented.
+    for name in ("cache.l1.hits", "cache.l2.hits"):
+        registry.counter(name)
+    # Documented-prefix f-string head needs no suppression.
+    registry.counter(f"exec.task.{label}")
+    # Concatenation stays unresolvable; justified suppression.
+    registry.counter("exec.task." + label)  # repro: suppress REPRO402 -- label validated upstream

@@ -1,0 +1,43 @@
+"""Known-bad fixture for the taint family (REPRO111, REPRO112).
+
+Local stand-ins for the sink classes keep the file self-contained;
+the pass matches sink constructors by name.
+"""
+
+import random
+import time
+
+
+class SystemReport:
+    def __init__(self, cycles=0, duration=0.0):
+        self.cycles = cycles
+        self.duration = duration
+        self.extra = {}
+
+
+class Experiment:
+    def __init__(self, seed=0):
+        self.seed = seed
+
+
+def _stamp():
+    return time.time()
+
+
+def build(cycles):
+    elapsed = _stamp() - _stamp()
+    report = SystemReport(cycles=cycles)
+    report.duration = elapsed
+    report.extra["finished"] = _stamp()
+    return report
+
+
+def configure():
+    return Experiment(seed=random.randint(0, 7))
+
+
+def clean(cycles, elapsed):
+    # Injected values are fine: taint is flow-aware, not name-based.
+    report = SystemReport(cycles=cycles)
+    report.duration = elapsed
+    return report

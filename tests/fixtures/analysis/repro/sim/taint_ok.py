@@ -1,0 +1,38 @@
+"""Suppressed twin of ``taint_bad.py`` — must analyze clean."""
+
+import random
+import time
+
+
+class SystemReport:
+    def __init__(self, cycles=0, duration=0.0):
+        self.cycles = cycles
+        self.duration = duration
+        self.extra = {}
+
+
+class Experiment:
+    def __init__(self, seed=0):
+        self.seed = seed
+
+
+def _stamp():
+    return time.time()
+
+
+def build(cycles):
+    elapsed = _stamp() - _stamp()
+    report = SystemReport(cycles=cycles)
+    report.duration = elapsed  # repro: suppress REPRO111 -- wall time is display-only here
+    report.extra["finished"] = _stamp()  # repro: suppress REPRO111 -- never hashed
+    return report
+
+
+def configure():
+    return Experiment(seed=random.randint(0, 7))  # repro: suppress REPRO112 -- seed is logged
+
+
+def clean(cycles, elapsed):
+    report = SystemReport(cycles=cycles)
+    report.duration = elapsed
+    return report

@@ -7,7 +7,8 @@ import pytest
 
 from repro.analysis import (Analyzer, module_name, render_json, render_text,
                             report_from_json)
-from repro.analysis.engine import (CODE_BAD_SUPPRESSION, SourceFile,
+from repro.analysis.engine import (CODE_BAD_SUPPRESSION,
+                                   CODE_UNUSED_SUPPRESSION, SourceFile,
                                    parse_suppressions)
 from repro.errors import ConfigError
 
@@ -31,29 +32,60 @@ class TestModuleName:
 class TestSuppressions:
     def test_well_formed_comment_parses(self):
         text = "x = 1  # repro: suppress REPRO101, REPRO104 -- fixture\n"
-        suppressed, problems = parse_suppressions(text)
+        suppressed, problems, comments = parse_suppressions(text)
         assert suppressed == {1: {"REPRO101", "REPRO104"}}
         assert problems == []
+        assert len(comments) == 1
+        assert comments[0].codes == frozenset({"REPRO101", "REPRO104"})
+        assert comments[0].justification == "fixture"
+
+    def test_multiple_codes_cover_every_listed_rule(self):
+        text = ("import os\n"
+                "x = os.urandom(  # repro: suppress REPRO102, REPRO004,"
+                " REPRO003 -- fixture\n"
+                "    8)\n")
+        suppressed, problems, _ = parse_suppressions(text)
+        assert problems == []
+        assert suppressed[2] == {"REPRO102", "REPRO004", "REPRO003"}
+
+    def test_crlf_line_endings_parse_identically(self):
+        unix = "x = 1  # repro: suppress REPRO101 -- fixture\n"
+        dos = unix.replace("\n", "\r\n")
+        assert parse_suppressions(dos)[0] == parse_suppressions(unix)[0]
+        assert parse_suppressions(dos)[1] == []
+
+    def test_comment_on_continuation_line_covers_statement_start(self):
+        # The comment sits on line 3 of a parenthesized statement; the
+        # suppression must also cover line 1, where statement-anchored
+        # rules report, but not the unrelated line 4.
+        text = ("value = call(\n"
+                "    alpha,\n"
+                "    beta,  # repro: suppress REPRO101 -- fixture\n"
+                ")\n")
+        suppressed, problems, comments = parse_suppressions(text)
+        assert problems == []
+        assert set(suppressed) == {1, 3}
+        assert comments[0].lines == (1, 3)
 
     def test_missing_justification_is_a_problem(self):
         text = "x = 1  # repro: suppress REPRO101\n"
-        suppressed, problems = parse_suppressions(text)
+        suppressed, problems, _ = parse_suppressions(text)
         assert suppressed == {}
         assert len(problems) == 1 and "justification" in problems[0][1]
 
     def test_missing_codes_is_a_problem(self):
-        _, problems = parse_suppressions(
+        _, problems, _ = parse_suppressions(
             "x = 1  # repro: suppress -- because\n")
         assert len(problems) == 1 and "no rule codes" in problems[0][1]
 
     def test_malformed_code_is_a_problem(self):
-        _, problems = parse_suppressions(
+        _, problems, _ = parse_suppressions(
             "x = 1  # repro: suppress E501 -- because\n")
         assert len(problems) == 1 and "REPRO###" in problems[0][1]
 
     def test_suppression_inside_string_is_ignored(self):
         text = 'HELP = "write # repro: suppress REPRO101 on the line"\n'
-        suppressed, problems = parse_suppressions(text)
+        suppressed, problems, _ = parse_suppressions(text)
         assert suppressed == {} and problems == []
 
     def test_bad_suppression_surfaces_as_repro010(self, tmp_path):
@@ -61,6 +93,31 @@ class TestSuppressions:
         bad.write_text("x = 1  # repro: suppress REPRO999x\n")
         report = Analyzer(tmp_path).run([bad])
         assert [v.code for v in report.violations] == [CODE_BAD_SUPPRESSION]
+
+    def test_stale_suppression_surfaces_as_repro011(self, tmp_path):
+        stale = tmp_path / "stale.py"
+        stale.write_text(
+            "x = 1  # repro: suppress REPRO003 -- nothing to suppress\n")
+        report = Analyzer(tmp_path).run([stale])
+        assert [v.code for v in report.violations] \
+            == [CODE_UNUSED_SUPPRESSION]
+        assert "REPRO003" in report.violations[0].message
+
+    def test_used_suppression_is_not_stale(self, tmp_path):
+        used = tmp_path / "used.py"
+        used.write_text(
+            "x = 1   # repro: suppress REPRO003 -- trailing space kept \n")
+        report = Analyzer(tmp_path).run([used])
+        assert report.ok and report.suppressed == 1
+
+    def test_stale_check_skipped_under_select(self, tmp_path):
+        # With an explicit select, most rules never ran, so "unused"
+        # would be meaningless noise.
+        stale = tmp_path / "stale.py"
+        stale.write_text(
+            "x = 1  # repro: suppress REPRO003 -- nothing to suppress\n")
+        report = Analyzer(tmp_path, select="REPRO002").run([stale])
+        assert report.ok
 
 
 class TestSourceFile:
@@ -136,6 +193,25 @@ class TestReporters:
         assert [v.to_dict() for v in rebuilt.violations] \
             == [v.to_dict() for v in report.violations]
         assert rebuilt.counts == report.counts
+
+    def test_sarif_levels_and_rules(self, tmp_path):
+        from repro.analysis import render_sarif
+        path = tmp_path / "bad.py"
+        # REPRO003 (error) plus a stale suppression (REPRO011, advisory).
+        path.write_text("x = 1   \n"
+                        "y = 2  # repro: suppress REPRO002 -- unused\n")
+        report = Analyzer(tmp_path).run([path])
+        document = render_sarif(report)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels["REPRO003"] == "error"
+        assert levels["REPRO011"] == "warning"
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rules == set(levels)
+        location = run["results"][0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "bad.py"
 
     def test_json_version_mismatch_rejected(self, tmp_path):
         document = render_json(self._report(tmp_path))

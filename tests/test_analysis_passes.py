@@ -28,7 +28,11 @@ DETERMINISM = "REPRO101,REPRO102,REPRO103,REPRO104"
 LAYERING = "REPRO201,REPRO202,REPRO203"
 SHRED = "REPRO301,REPRO302,REPRO303"
 METRICS = "REPRO401"
+METRICS_DYN = "REPRO401,REPRO402"
 CONCURRENCY = "REPRO501"
+RACES = "REPRO511,REPRO512"
+WIRE = "REPRO601,REPRO602,REPRO603"
+TAINT = "REPRO111,REPRO112"
 
 
 class TestFormatFamily:
@@ -132,6 +136,68 @@ class TestConcurrencyFamily:
     def test_suppressed_twin_is_clean(self):
         report = run_fixture("repro/exec/conc_ok.py", CONCURRENCY)
         assert report.ok and report.suppressed == 1
+
+
+class TestMetricsDynamicNames:
+    def test_bad_fixture_fires(self):
+        report = run_fixture("repro/sim/metrics_dyn_bad.py", METRICS_DYN)
+        assert fired(report) == ["REPRO401", "REPRO402"]
+        # Loop binding resolved to the drifted name; two advisories.
+        assert len(report.violations) == 3
+        resolved = [v for v in report.violations if v.code == "REPRO401"]
+        assert "bogus.prefix.count" in resolved[0].message
+
+    def test_suppressed_twin_is_clean(self):
+        report = run_fixture("repro/sim/metrics_dyn_ok.py", METRICS_DYN)
+        assert report.ok and report.suppressed == 1
+
+
+class TestRacesFamily:
+    def test_bad_fixture_fires(self):
+        report = run_fixture("repro/exec/races_bad.py", RACES)
+        assert fired(report) == ["REPRO511", "REPRO512"]
+        outlier = [v for v in report.violations if v.code == "REPRO511"]
+        assert "2 of 3 write sites" in outlier[0].message
+
+    def test_suppressed_twin_is_clean(self):
+        report = run_fixture("repro/exec/races_ok.py", RACES)
+        assert report.ok and report.suppressed >= 2
+
+
+class TestWireSchemaFamily:
+    def test_bad_fixture_fires(self):
+        report = run_fixture("repro/exec/wire_bad.py", WIRE)
+        assert fired(report) == ["REPRO601", "REPRO602", "REPRO603"]
+
+    def test_suppressed_twin_is_clean(self):
+        report = run_fixture("repro/exec/wire_ok.py", WIRE)
+        assert report.ok and report.suppressed >= 3
+
+    def test_incomplete_universe_skips_cross_file_rules(self):
+        # CI smoke jobs analyze subsets of the real protocol modules;
+        # the completeness gate must not claim missing readers/writers
+        # when it cannot see the whole conversation.
+        analyzer = Analyzer(REPO_ROOT, select=WIRE)
+        report = analyzer.run([
+            REPO_ROOT / "src" / "repro" / "exec" / "wire.py",
+            REPO_ROOT / "src" / "repro" / "exec" / "cluster.py",
+        ])
+        assert {v.code for v in report.violations} <= {"REPRO603"}
+
+
+class TestTaintFamily:
+    def test_bad_fixture_fires(self):
+        report = run_fixture("repro/sim/taint_bad.py", TAINT)
+        assert fired(report) == ["REPRO111", "REPRO112"]
+        # Interprocedural: the source is inside _stamp(), two hops away.
+        flagged = [v for v in report.violations if v.code == "REPRO111"]
+        assert any("time.time()" in v.message for v in flagged)
+        # clean() takes injected values — flow-aware, so not flagged.
+        assert all(v.line < 39 for v in report.violations)
+
+    def test_suppressed_twin_is_clean(self):
+        report = run_fixture("repro/sim/taint_ok.py", TAINT)
+        assert report.ok and report.suppressed >= 3
 
 
 class TestRepoGate:
